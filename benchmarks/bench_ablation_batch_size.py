@@ -1,0 +1,46 @@
+"""Ablation: round-robin LId batch size (§5.2, Figure 4's parameter).
+
+The batch size controls how many consecutive LIds a maintainer owns per
+round.  Throughput is insensitive (ownership is computed, not coordinated),
+but the head of the log trails further behind with larger rounds: the HL
+can only pass a round once its owner has filled it, so a lightly-loaded
+maintainer with a huge round holds the whole log's head back.
+"""
+
+import pytest
+
+from repro.bench import run_flstore_sim
+
+from conftest import kilo, print_header, run_once
+
+BATCH_SIZES = [100, 1000, 10_000, 50_000]
+
+
+def sweep():
+    rows = []
+    for batch in BATCH_SIZES:
+        result = run_flstore_sim(
+            n_maintainers=4,
+            target_per_maintainer=100_000,
+            lid_batch=batch,
+            duration=1.0,
+            warmup=0.3,
+        )
+        rows.append((batch, result.achieved_total, result.head_lag_records))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_lid_batch_size(benchmark):
+    rows = run_once(benchmark, sweep)
+
+    print_header("Ablation: LId round size vs throughput and HL lag")
+    print(f"{'batch':>8}  {'throughput':>11}  {'HL lag (records)':>17}")
+    for batch, achieved, lag in rows:
+        print(f"{batch:>8}  {kilo(achieved):>11}  {lag:>17}")
+
+    rates = [achieved for _, achieved, _ in rows]
+    assert max(rates) - min(rates) < 0.05 * max(rates)
+    # Much larger rounds leave a (weakly) larger HL lag.
+    assert rows[-1][2] >= rows[0][2]
+    benchmark.extra_info["rows"] = rows

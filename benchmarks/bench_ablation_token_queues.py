@@ -1,0 +1,53 @@
+"""Ablation: queue-stage width and token circulation (§6.2 "Queues").
+
+The token serialises LId assignment, so the queue *stage* scales by
+letting non-holders buffer while the token circulates.  This ablation
+verifies that widening the queue stage keeps total sequencing throughput
+flat at fixed load (the token is not a throughput bottleneck at these
+rates) and that work spreads across the queues.
+"""
+
+import pytest
+
+from repro.bench import run_pipeline_sim
+
+from conftest import kilo, print_header, run_once
+
+QUEUE_COUNTS = [1, 2, 4]
+
+
+def sweep():
+    rows = []
+    for queues in QUEUE_COUNTS:
+        result = run_pipeline_sim(
+            clients=1,
+            queues=queues,
+            duration=1.2,
+            warmup=0.4,
+        )
+        per_queue = sorted(result.stage_rates["Queue"].values())
+        rows.append((queues, result.stage_total("Queue"), per_queue,
+                     result.stage_total("Store")))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_queue_stage_width(benchmark):
+    rows = run_once(benchmark, sweep)
+
+    print_header("Ablation: queue count vs sequencing throughput")
+    print(f"{'queues':>7}  {'stage total':>11}  {'store total':>11}  per-queue")
+    for queues, total, per_queue, store in rows:
+        spread = ", ".join(kilo(r).strip() for r in per_queue)
+        print(f"{queues:>7}  {kilo(total):>11}  {kilo(store):>11}  [{spread}]")
+
+    store_rates = [store for _, _, _, store in rows]
+    # Widening the queue stage neither helps nor hurts at fixed load.
+    assert max(store_rates) - min(store_rates) < 0.06 * max(store_rates)
+    # With several queues, every queue sees a share of the work.
+    for queues, _total, per_queue, _store in rows:
+        if queues > 1:
+            assert all(rate > 0 for rate in per_queue)
+    benchmark.extra_info["rows"] = [
+        (q, round(t), [round(r) for r in pq], round(s)) for q, t, pq, s in rows
+    ]

@@ -1,0 +1,18 @@
+"""Table 1: the shared-log systems comparison matrix (§2.3)."""
+
+import pytest
+
+from repro.bench import chariots_fills_the_void, render
+from repro.bench.comparison import groups
+
+from conftest import print_header, run_once
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_comparison_matrix(benchmark):
+    text = run_once(benchmark, render)
+    print_header("Table 1: shared log services comparison")
+    print(text)
+    assert chariots_fills_the_void()
+    assert len(groups()) == 4
+    benchmark.extra_info["table"] = text

@@ -1,0 +1,107 @@
+"""Micro-benchmarks of the library's hot paths (host performance).
+
+Unlike the evaluation benchmarks (which report *simulated* throughput),
+these measure the actual Python implementation: records appended per host
+second through the core data structures and through a full in-process
+pipeline.  Useful for catching performance regressions in the library
+itself.
+"""
+
+import itertools
+
+import pytest
+
+from repro.chariots import AbstractChariots, ChariotsDeployment
+from repro.chariots.filters import FilterCore, FilterMap
+from repro.core import LogStore, Record
+from repro.flstore import MaintainerCore, OwnershipPlan
+from repro.runtime import LocalRuntime
+
+N = 2_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_logstore_put(benchmark):
+    records = [Record.make("A", t, None) for t in range(1, N + 1)]
+
+    def run():
+        store = LogStore()
+        for lid, record in enumerate(records):
+            store.put(lid, record)
+        return store
+
+    store = benchmark(run)
+    assert len(store) == N
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_maintainer_post_assignment(benchmark):
+    records = [Record.make("A", t, None) for t in range(1, N + 1)]
+    plan = OwnershipPlan(["m0", "m1", "m2"], batch_size=1000)
+
+    def run():
+        core = MaintainerCore("m0", plan)
+        core.append_count(records)
+        return core
+
+    core = benchmark(run)
+    assert core.stored_count() == N
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_filter_admission(benchmark):
+    fmap = FilterMap(["f"])
+    fmap.assign_host("A", ["f"])
+    records = [Record.make("A", t, None) for t in range(1, N + 1)]
+
+    def run():
+        core = FilterCore("f", fmap)
+        admitted = 0
+        for record in records:
+            admitted += len(core.offer_external(record))
+        return admitted
+
+    assert benchmark(run) == N
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_abstract_append(benchmark):
+    def run():
+        dc = AbstractChariots("A", ["A", "B"])
+        for i in range(N):
+            dc.append(i)
+        return dc
+
+    assert len(benchmark(run)) == N
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_abstract_replication(benchmark):
+    source = AbstractChariots("A", ["A", "B"])
+    for i in range(N):
+        source.append(i)
+    records, matrix = source.snapshot_for("B")
+
+    def run():
+        sink = AbstractChariots("B", ["A", "B"])
+        sink.receive("A", records, matrix)
+        return sink
+
+    assert len(benchmark(run)) == N
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_end_to_end_pipeline_appends(benchmark):
+    """Whole-pipeline host throughput: client -> ... -> maintainer."""
+
+    def run():
+        runtime = LocalRuntime()
+        deployment = ChariotsDeployment(runtime, ["A"], batch_size=1000)
+        client = deployment.client("A")
+        counter = itertools.count()
+        for _ in range(500):
+            client.append(next(counter))
+        runtime.run_for(0.1)
+        return deployment["A"].total_records()
+
+    assert benchmark(run) == 500

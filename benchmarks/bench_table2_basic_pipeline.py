@@ -1,0 +1,38 @@
+"""Table 2: basic Chariots deployment, one machine per stage (§7.2).
+
+Paper: every machine achieves a similar 124–132 K records/s; the close
+numbers "indicate that the bottleneck is possibly due to the clients",
+with the store slightly ahead of the client because of buffering.
+"""
+
+import pytest
+
+from repro.bench import run_pipeline_sim
+
+from conftest import kilo, print_header, run_once
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table2_one_machine_per_stage(benchmark):
+    result = run_once(
+        benchmark,
+        run_pipeline_sim,
+        clients=1,
+        duration=1.5,
+        warmup=0.4,
+    )
+
+    print_header("Table 2: Chariots, one machine per stage (K records/s)")
+    for stage, machine, rate in result.rows():
+        print(f"  {stage:<8} {machine:<18} {kilo(rate)}")
+    print(f"  bottleneck: {result.bottleneck()}")
+
+    client_rate = result.stage_total("Client")
+    # All stages track the client rate within a few percent (Table 2).
+    for stage in ("Batcher", "Filter", "Queue", "Store"):
+        assert result.stage_total(stage) == pytest.approx(client_rate, rel=0.06)
+    assert 120_000 < client_rate < 135_000
+    assert result.bottleneck() == "Client"
+    benchmark.extra_info["rows"] = [
+        (stage, machine, round(rate)) for stage, machine, rate in result.rows()
+    ]

@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness (pytest-benchmark)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def run_once(benchmark, fn: Callable, *args, **kwargs):
+    """Run a simulation exactly once under pytest-benchmark.
+
+    The interesting output of these benchmarks is the *simulated* rates the
+    result object carries (printed as the paper's tables/figures), not the
+    host wall time, so one round suffices.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def kilo(rate: float) -> str:
+    return f"{rate / 1000:8.1f}K"
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,95 @@
+"""Strongly consistent geo-transactions over the causal log (§4.3).
+
+Message Futures and Helios commit transactions by appending records to the
+causally ordered replicated log and detecting conflicts deterministically —
+no Paxos, no two-phase commit.  This example runs a write-write conflict
+between two datacenters and shows exactly one transaction surviving, with
+both sides reaching the same decision independently.
+
+Run:  python examples/geo_transactions.py
+"""
+
+from repro import (
+    ChariotsDeployment,
+    HeliosManager,
+    LocalRuntime,
+    MessageFuturesManager,
+    TransactionAborted,
+)
+
+
+def pump(deployment, managers, rounds=25) -> None:
+    for _ in range(rounds):
+        deployment.settle(max_seconds=2)
+        for manager in managers:
+            manager.pump()
+
+
+def message_futures_demo() -> None:
+    print("=== Message Futures: conflict between two datacenters ===")
+    runtime = LocalRuntime()
+    deployment = ChariotsDeployment(runtime, ["A", "B"], batch_size=100)
+    ma = MessageFuturesManager("A", deployment.blocking_client("A"), ["A", "B"])
+    mb = MessageFuturesManager("B", deployment.blocking_client("B"), ["A", "B"])
+
+    # Two concurrent transactions write the same key at different DCs.
+    ta = ma.begin()
+    ta.write("inventory:widget", 99)
+    tb = mb.begin()
+    tb.write("inventory:widget", 42)
+    pa, pb = ta.commit(), tb.commit()
+    print(f"submitted {pa.txn_id} at A and {pb.txn_id} at B (both write the same key)")
+
+    pump(deployment, [ma, mb])
+
+    for pending, side in ((pa, "A"), (pb, "B")):
+        try:
+            pending.result()
+            print(f"  {pending.txn_id} ({side}): COMMITTED")
+        except TransactionAborted:
+            print(f"  {pending.txn_id} ({side}): ABORTED (lost the conflict)")
+
+    print(f"  converged state at A: {ma.committed_state()}")
+    print(f"  converged state at B: {mb.committed_state()}")
+    print(f"  decisions agree everywhere: "
+          f"{ma.decision(pa.txn_id) == mb.decision(pa.txn_id)}")
+    print()
+
+    # A causally-later transaction sees the winner and commits cleanly.
+    follow_up = mb.begin()
+    current = follow_up.read("inventory:widget")
+    follow_up.write("inventory:widget", (current or 0) - 1)
+    pf = follow_up.commit()
+    pump(deployment, [ma, mb])
+    print(f"  follow-up read {current}, wrote {current - 1}: "
+          f"{'COMMITTED' if pf.committed else 'ABORTED'}")
+    print()
+
+
+def helios_demo() -> None:
+    print("=== Helios: conflict zones instead of full exchanges ===")
+    runtime = LocalRuntime()
+    deployment = ChariotsDeployment(runtime, ["A", "B"], batch_size=100)
+    ha = HeliosManager(
+        "A", deployment.blocking_client("A"), ["A", "B"],
+        default_delay=0.001, clock=lambda: runtime.now,
+    )
+    hb = HeliosManager(
+        "B", deployment.blocking_client("B"), ["A", "B"],
+        default_delay=0.001, clock=lambda: runtime.now,
+    )
+
+    txn = ha.begin()
+    txn.write("balance", 500)
+    pending = txn.commit()
+    pump(deployment, [ha, hb])
+    print(f"  {pending.txn_id}: {'COMMITTED' if pending.committed else 'ABORTED'}")
+    print(f"  decision replicated to B: {hb.decision(pending.txn_id)}")
+    print(f"  B's committed state: {hb.committed_state()}")
+    print("  Helios commits once each peer's log has arrived past the")
+    print("  transaction's conflict zone — the latency lower bound (§4.3).")
+
+
+if __name__ == "__main__":
+    message_futures_demo()
+    helios_demo()

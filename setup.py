@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+Offline environments without the ``wheel`` package cannot run
+``pip install -e .`` (PEP 517 editable installs build a wheel); this shim
+enables ``python setup.py develop`` as the equivalent fallback.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,232 @@
+"""Multi-datacenter event processing over the shared log (§4.2).
+
+Publishers append events (an append *is* a publish); readers consume them
+from the log maintainers with **exactly-once** semantics: a reader's cursor
+advances through gap-free log positions (bounded by the head of the log),
+and every record is delivered to the processing callback exactly once per
+reader.  Different readers can read from different log maintainers, so the
+analysis work distributes without a central dispatcher.
+
+:class:`StreamJoiner` is a Photon-style continuous join (§1 cites Google
+Photon): it joins events of two streams — typically produced at *different
+datacenters* — on a join key, emitting each joined pair exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..core.record import LogEntry, ReadRules
+
+STREAM_TAG = "stream"
+
+
+@dataclass(frozen=True)
+class Event:
+    """A consumed stream event with its provenance."""
+
+    stream: str
+    payload: Any
+    lid: int
+    host: str
+    toid: int
+
+    @property
+    def identity(self) -> Tuple[str, int]:
+        """Globally unique event identity (host datacenter, TOId)."""
+        return (self.host, self.toid)
+
+
+class EventPublisher:
+    """Publishes events by appending tagged records to the shared log."""
+
+    def __init__(self, log: Any) -> None:
+        self.log = log
+
+    def publish(self, stream: str, payload: Any) -> Event:
+        result = self.log.append({"event": payload}, tags={STREAM_TAG: stream})
+        return Event(stream, payload, result.lid, result.rid.host, result.rid.toid)
+
+
+class StreamReader:
+    """Exactly-once cursor over one stream of the shared log.
+
+    ``poll()`` returns every event of the stream that became readable (at or
+    below the head of the log) since the previous poll.  The cursor is the
+    reader's only state, so delivery is exactly-once by construction; a
+    crash-restarted reader resumes from its last checkpointed cursor.
+    """
+
+    def __init__(self, log: Any, stream: str, start_after_lid: int = -1) -> None:
+        self.log = log
+        self.stream = stream
+        self.cursor = start_after_lid
+        self.events_delivered = 0
+
+    def poll(self, limit: Optional[int] = None) -> List[Event]:
+        head = self.log.head()
+        if head <= self.cursor:
+            return []
+        entries: List[LogEntry] = self.log.read(
+            ReadRules(
+                tag_key=STREAM_TAG,
+                tag_value=self.stream,
+                min_lid=self.cursor + 1,
+                max_lid=head,
+                most_recent=False,
+                limit=limit,
+            )
+        )
+        events = [
+            Event(self.stream, e.record.body.get("event"), e.lid, e.record.host, e.record.toid)
+            for e in entries
+        ]
+        if entries:
+            self.cursor = entries[-1].lid
+        else:
+            self.cursor = head
+        self.events_delivered += len(events)
+        return events
+
+    def checkpoint(self) -> int:
+        """Durable resume point: pass to ``start_after_lid`` on restart."""
+        return self.cursor
+
+
+class StreamProcessor:
+    """Drives one or more readers through a processing callback."""
+
+    def __init__(self, log: Any) -> None:
+        self.log = log
+        self._readers: Dict[str, StreamReader] = {}
+        self._handlers: Dict[str, Callable[[Event], None]] = {}
+
+    def subscribe(self, stream: str, handler: Callable[[Event], None]) -> StreamReader:
+        reader = StreamReader(self.log, stream)
+        self._readers[stream] = reader
+        self._handlers[stream] = handler
+        return reader
+
+    def step(self) -> int:
+        """One processing round; returns the number of events handled."""
+        handled = 0
+        for stream, reader in self._readers.items():
+            for event in reader.poll():
+                self._handlers[stream](event)
+                handled += 1
+        return handled
+
+
+class WindowedAggregator:
+    """Exactly-once tumbling-window aggregation over one stream (§4.2).
+
+    Events are grouped into fixed-size windows of *log positions* (the log
+    gives every event a stable position, so windows are reproducible at
+    every datacenter).  A window is emitted once the head of the log has
+    passed its end — at that point the window can never gain events,
+    because positions below the head are gap-free.
+    """
+
+    def __init__(
+        self,
+        log: Any,
+        stream: str,
+        window_lids: int,
+        aggregate: Callable[[List[Event]], Any],
+    ) -> None:
+        if window_lids < 1:
+            raise ValueError("window_lids must be >= 1")
+        self.reader = StreamReader(log, stream)
+        self.log = log
+        self.window_lids = window_lids
+        self.aggregate = aggregate
+        self._buffer: Dict[int, List[Event]] = {}
+        self._next_window = 0
+        self.windows_emitted = 0
+
+    def _window_of(self, lid: int) -> int:
+        return lid // self.window_lids
+
+    def step(self) -> List[Tuple[int, Any]]:
+        """Poll the stream and emit every newly closed window.
+
+        Returns ``(window index, aggregate value)`` pairs; empty windows
+        are emitted too (value of ``aggregate([])``), keeping the output
+        stream dense and deterministic.
+        """
+        for event in self.reader.poll():
+            self._buffer.setdefault(self._window_of(event.lid), []).append(event)
+        head = self.log.head()
+        closed: List[Tuple[int, Any]] = []
+        while (self._next_window + 1) * self.window_lids <= head + 1:
+            events = self._buffer.pop(self._next_window, [])
+            closed.append((self._next_window, self.aggregate(events)))
+            self._next_window += 1
+            self.windows_emitted += 1
+        return closed
+
+
+class StreamJoiner:
+    """Photon-style exactly-once join of two streams on a key function.
+
+    Events are buffered per join key until a partner arrives; each
+    ``(left event, right event)`` pair is emitted exactly once.  ``window``
+    bounds the buffer (events older than ``window`` join candidates are
+    discarded), mirroring Photon's bounded state.
+    """
+
+    def __init__(
+        self,
+        log: Any,
+        left_stream: str,
+        right_stream: str,
+        key_fn: Callable[[Any], Any],
+        window: Optional[int] = None,
+    ) -> None:
+        self.left = StreamReader(log, left_stream)
+        self.right = StreamReader(log, right_stream)
+        self.key_fn = key_fn
+        self.window = window
+        self._left_buffer: Dict[Any, List[Event]] = {}
+        self._right_buffer: Dict[Any, List[Event]] = {}
+        self.pairs_emitted = 0
+
+    def step(self) -> List[Tuple[Event, Event]]:
+        """Poll both streams and return the newly joined pairs."""
+        joined: List[Tuple[Event, Event]] = []
+        for event in self.left.poll():
+            joined.extend(self._offer(event, self._left_buffer, self._right_buffer, left=True))
+        for event in self.right.poll():
+            joined.extend(self._offer(event, self._right_buffer, self._left_buffer, left=False))
+        self.pairs_emitted += len(joined)
+        if self.window is not None:
+            self._evict()
+        return joined
+
+    def _offer(
+        self,
+        event: Event,
+        own_buffer: Dict[Any, List[Event]],
+        other_buffer: Dict[Any, List[Event]],
+        left: bool,
+    ) -> Iterator[Tuple[Event, Event]]:
+        key = self.key_fn(event.payload)
+        partners = other_buffer.get(key, [])
+        if partners:
+            for partner in partners:
+                yield (event, partner) if left else (partner, event)
+        own_buffer.setdefault(key, []).append(event)
+
+    def _evict(self) -> None:
+        horizon = max(self.left.cursor, self.right.cursor) - (self.window or 0)
+        for buffer in (self._left_buffer, self._right_buffer):
+            for key in list(buffer):
+                buffer[key] = [e for e in buffer[key] if e.lid >= horizon]
+                if not buffer[key]:
+                    del buffer[key]
+
+    def buffered(self) -> int:
+        return sum(len(v) for v in self._left_buffer.values()) + sum(
+            len(v) for v in self._right_buffer.values()
+        )

@@ -1,0 +1,12 @@
+"""CORFU-style sequencer-based shared log baseline (§2.1)."""
+
+from .corfu import CorfuClient, CorfuLog
+from .sequencer import ReservedRange, Sequencer, SequencerRequest
+
+__all__ = [
+    "CorfuClient",
+    "CorfuLog",
+    "ReservedRange",
+    "Sequencer",
+    "SequencerRequest",
+]

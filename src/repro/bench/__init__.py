@@ -1,0 +1,26 @@
+"""Benchmark harness mapping §7's experiments onto the simulator."""
+
+from .comparison import TABLE1, SystemEntry, chariots_fills_the_void, render
+from .harness import (
+    GENERATOR,
+    CorfuSimResult,
+    FLStoreSimResult,
+    PipelineSimResult,
+    run_corfu_sim,
+    run_flstore_sim,
+    run_pipeline_sim,
+)
+
+__all__ = [
+    "CorfuSimResult",
+    "FLStoreSimResult",
+    "GENERATOR",
+    "PipelineSimResult",
+    "SystemEntry",
+    "TABLE1",
+    "chariots_fills_the_void",
+    "render",
+    "run_corfu_sim",
+    "run_flstore_sim",
+    "run_pipeline_sim",
+]

@@ -1,0 +1,77 @@
+"""Batchers: stage 2 of the Chariots pipeline (§6.2).
+
+Batchers buffer records received from local application clients and from
+the receivers, grouped per destination filter, and flush a buffer when it
+reaches the configured threshold (or on a timer, so light traffic is not
+stranded).  Batchers are completely independent of one another — adding one
+requires no coordination (§6.3).
+
+Routing must agree with the filters' championing scheme, so both sides use
+the shared :class:`~repro.chariots.filters.FilterMap`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..core.config import PipelineConfig
+from ..runtime.actor import Actor
+from .filters import FilterMap
+from .messages import DraftBatch, FilterBatch
+
+
+class Batcher(Actor):
+    """Stage 2: buffer and forward records to their champion filters."""
+
+    def __init__(
+        self,
+        name: str,
+        filter_map: FilterMap,
+        config: Optional[PipelineConfig] = None,
+    ) -> None:
+        super().__init__(name)
+        self.filter_map = filter_map
+        self.config = config or PipelineConfig()
+        self._buffers: Dict[str, FilterBatch] = {}
+        self.records_batched = 0
+
+    def on_start(self) -> None:
+        self.set_timer(self.config.batcher_flush_interval, self._flush_all, periodic=True)
+
+    def on_message(self, sender: str, message: Any) -> None:
+        if isinstance(message, DraftBatch):
+            for draft in message.drafts:
+                self._buffer_for(self.filter_map.filter_for_draft(draft)).drafts.append(draft)
+                self.records_batched += 1
+            self._flush_full()
+        elif isinstance(message, FilterBatch):
+            # Receivers forward external records wrapped as FilterBatch.
+            for record in message.externals:
+                self._buffer_for(self.filter_map.filter_for_record(record)).externals.append(record)
+                self.records_batched += 1
+            for draft in message.drafts:
+                self._buffer_for(self.filter_map.filter_for_draft(draft)).drafts.append(draft)
+                self.records_batched += 1
+            self._flush_full()
+
+    def _buffer_for(self, filter_name: str) -> FilterBatch:
+        buffer = self._buffers.get(filter_name)
+        if buffer is None:
+            buffer = FilterBatch()
+            self._buffers[filter_name] = buffer
+        return buffer
+
+    def _flush_full(self) -> None:
+        threshold = self.config.batcher_flush_threshold
+        for filter_name in list(self._buffers):
+            if self._buffers[filter_name].record_count() >= threshold:
+                self._flush(filter_name)
+
+    def _flush_all(self) -> None:
+        for filter_name in list(self._buffers):
+            if self._buffers[filter_name].record_count() > 0:
+                self._flush(filter_name)
+
+    def _flush(self, filter_name: str) -> None:
+        batch = self._buffers.pop(filter_name)
+        self.send(filter_name, batch)

@@ -1,0 +1,104 @@
+"""Chariots application client (§3's interface over the full pipeline).
+
+Reads, head-of-log queries, and tag lookups reuse the FLStore client logic
+(the log maintainers and indexers are FLStore components); appends enter
+the pipeline as draft records via the batchers and complete when the queue
+stage reports the assigned TOId and LId.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from ..core.record import AppendResult, DatacenterId, freeze_tags
+from ..flstore.client import BlockingFLStoreClient, FLStoreClient
+from ..runtime.local import BaseRuntime
+from .messages import DraftBatch, DraftCommitBatch, DraftCommitted, DraftRecord
+
+Callback = Callable[[Any], None]
+
+
+class ChariotsClient(FLStoreClient):
+    """Client of one datacenter's Chariots instance."""
+
+    def __init__(
+        self,
+        name: str,
+        controller: str,
+        batchers: List[str],
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, controller, seed=seed)
+        self.batchers = list(batchers)
+        # Stagger the starting batcher per client so load spreads (§6.2).
+        offset = seed % len(self.batchers) if self.batchers else 0
+        self._batcher_cycle = itertools.cycle(
+            self.batchers[offset:] + self.batchers[:offset]
+        )
+        self._draft_seq = itertools.count(1)
+        self._pending_commits: Dict[int, Callback] = {}
+
+    # ------------------------------------------------------------------ #
+    # Append (§3): via the pipeline, not directly to maintainers
+    # ------------------------------------------------------------------ #
+
+    def append(  # type: ignore[override]
+        self,
+        body: Any,
+        tags: Optional[Mapping[str, Any]] = None,
+        deps: Optional[Mapping[DatacenterId, int]] = None,
+        on_done: Optional[Callback] = None,
+        min_lid: Optional[int] = None,  # accepted for interface parity; unused
+    ) -> int:
+        """Append one record; ``on_done`` receives an :class:`AppendResult`.
+
+        ``deps`` declares explicit causal dependencies on records from other
+        datacenters (their host → TOId), e.g. after reading them.  Returns
+        the draft sequence number (mostly useful for tests).
+        """
+        seq = next(self._draft_seq)
+        draft = DraftRecord(
+            client=self.name,
+            seq=seq,
+            body=body,
+            tags=freeze_tags(tags),
+            deps=tuple(sorted((deps or {}).items())),
+        )
+        if on_done is not None:
+            self._pending_commits[seq] = on_done
+        self.send(next(self._batcher_cycle), DraftBatch([draft]))
+        return seq
+
+    def on_message(self, sender: str, message: Any) -> None:
+        if isinstance(message, DraftCommitBatch):
+            for commit in message.commits:
+                self._handle_commit(commit)
+        elif isinstance(message, DraftCommitted):
+            self._handle_commit(message)
+        else:
+            super().on_message(sender, message)
+
+    def _handle_commit(self, commit: DraftCommitted) -> None:
+        handler = self._pending_commits.pop(commit.seq, None)
+        if handler is not None:
+            handler(AppendResult(commit.rid, commit.lid))
+
+
+class BlockingChariotsClient(BlockingFLStoreClient):
+    """Synchronous facade over :class:`ChariotsClient`."""
+
+    client: ChariotsClient
+
+    def __init__(self, client: ChariotsClient, runtime: BaseRuntime) -> None:
+        super().__init__(client, runtime)
+
+    def append(  # type: ignore[override]
+        self,
+        body: Any,
+        tags: Optional[Mapping[str, Any]] = None,
+        deps: Optional[Mapping[DatacenterId, int]] = None,
+    ) -> AppendResult:
+        return self._await(
+            lambda cb: self.client.append(body, tags=tags, deps=deps, on_done=cb)
+        )

@@ -1,0 +1,361 @@
+"""One datacenter's Chariots instance: the six-stage pipeline (§6.2).
+
+Builds and wires every stage for a datacenter on any runtime:
+
+    clients / receivers → batchers → filters → queues → log maintainers
+                                                      ↘ senders → (peers)
+
+plus the control plane (controller for client sessions, GC coordinator for
+the Awareness Table).  Inter-datacenter wiring happens afterwards via
+:meth:`DatacenterPipeline.connect_peer` (the deployment object does this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.config import DeploymentSpec, FLStoreConfig, PipelineConfig
+from ..core.record import DatacenterId, KnowledgeVector, LogEntry
+from ..flstore.controller import Controller
+from ..flstore.indexer import Indexer
+from ..flstore.maintainer import LogMaintainer
+from ..flstore.range_map import OwnershipPlan
+from ..runtime.actor import Actor
+from ..runtime.local import BaseRuntime
+from .batcher import Batcher
+from .client import BlockingChariotsClient, ChariotsClient
+from .filters import FilterMap, FilterStage
+from .gc import GcCoordinator
+from .queues import QueueStage
+from .receiver import Receiver
+from .sender import Sender
+
+Placer = Callable[[Actor], None]
+
+
+def _partition(items: List[str], n_groups: int) -> List[List[str]]:
+    """Deal ``items`` round-robin into ``n_groups`` non-empty-ish groups."""
+    return [items[i::n_groups] for i in range(n_groups)]
+
+
+class DatacenterPipeline:
+    """All Chariots components of one datacenter."""
+
+    def __init__(
+        self,
+        runtime: BaseRuntime,
+        dc_id: DatacenterId,
+        datacenters: Sequence[DatacenterId],
+        spec: Optional[DeploymentSpec] = None,
+        batch_size: int = 1000,
+        pipeline_config: Optional[PipelineConfig] = None,
+        flstore_config: Optional[FLStoreConfig] = None,
+        n_indexers: int = 1,
+        placer: Optional[Placer] = None,
+        transitive_replication: bool = False,
+    ) -> None:
+        self.runtime = runtime
+        self.dc_id = dc_id
+        self.datacenters = list(datacenters)
+        self.spec = spec or DeploymentSpec()
+        self.transitive_replication = transitive_replication
+        self.pipeline_config = pipeline_config or PipelineConfig()
+        self.flstore_config = flstore_config or FLStoreConfig()
+        place = placer or (lambda actor: runtime.register(actor))
+        p = f"{dc_id}/"
+
+        maintainer_names = [f"{p}store/{i}" for i in range(self.spec.maintainers)]
+        indexer_names = [f"{p}indexer/{i}" for i in range(n_indexers)]
+        queue_names = [f"{p}queue/{i}" for i in range(self.spec.queues)]
+        filter_names = [f"{p}filter/{i}" for i in range(self.spec.filters)]
+        batcher_names = [f"{p}batcher/{i}" for i in range(self.spec.batchers)]
+        receiver_names = [f"{p}receiver/{i}" for i in range(self.spec.receivers)]
+        sender_names = [f"{p}sender/{i}" for i in range(self.spec.senders)]
+        self.gc_name = f"{p}gc"
+
+        self.plan = OwnershipPlan(maintainer_names, batch_size=batch_size)
+        self.filter_map = FilterMap(filter_names)
+        self._assign_filter_champions(filter_names)
+
+        # Log maintainers (FLStore, placed mode) ------------------------- #
+        self.maintainers: List[LogMaintainer] = []
+        for name in maintainer_names:
+            maintainer = LogMaintainer(
+                name,
+                self.plan,
+                peers=maintainer_names,
+                indexers=indexer_names,
+                config=self.flstore_config,
+            )
+            place(maintainer)
+            self.maintainers.append(maintainer)
+
+        self.indexers: List[Indexer] = []
+        for name in indexer_names:
+            indexer = Indexer(name)
+            place(indexer)
+            self.indexers.append(indexer)
+
+        # GC coordinator (control plane, never on the data path) --------- #
+        self.gc = GcCoordinator(
+            self.gc_name,
+            dc_id,
+            self.datacenters,
+            maintainers=maintainer_names,
+            indexers=indexer_names,
+            senders=sender_names,
+            config=self.pipeline_config,
+        )
+        runtime.register(self.gc)
+
+        # Queues: token ring ---------------------------------------------- #
+        frontier_listeners = sender_names + [self.gc_name]
+        self.queues: List[QueueStage] = []
+        for i, name in enumerate(queue_names):
+            next_queue = (
+                queue_names[(i + 1) % len(queue_names)] if len(queue_names) > 1 else None
+            )
+            queue = QueueStage(
+                name,
+                dc_id,
+                self.plan,
+                next_queue=next_queue,
+                frontier_listeners=frontier_listeners,
+                config=self.pipeline_config,
+                holds_initial_token=(i == 0),
+            )
+            place(queue)
+            self.queues.append(queue)
+
+        # Filters ---------------------------------------------------------- #
+        self.filters: List[FilterStage] = []
+        for name in filter_names:
+            stage = FilterStage(name, self.filter_map, queues=queue_names, config=self.pipeline_config)
+            place(stage)
+            self.filters.append(stage)
+
+        # Batchers ---------------------------------------------------------- #
+        self.batchers: List[Batcher] = []
+        for name in batcher_names:
+            batcher = Batcher(name, self.filter_map, config=self.pipeline_config)
+            place(batcher)
+            self.batchers.append(batcher)
+
+        # Receivers ---------------------------------------------------------- #
+        self.receivers: List[Receiver] = []
+        for name in receiver_names:
+            receiver = Receiver(
+                name,
+                dc_id,
+                batchers=batcher_names,
+                gc_coordinator=self.gc_name,
+                config=self.pipeline_config,
+            )
+            place(receiver)
+            self.receivers.append(receiver)
+
+        # Senders: each ships a partition of the maintainers ---------------- #
+        self.senders: List[Sender] = []
+        for name, maintainer_group in zip(
+            sender_names, _partition(maintainer_names, len(sender_names))
+        ):
+            sender = Sender(
+                name,
+                dc_id,
+                maintainers=maintainer_group or maintainer_names,
+                peer_receivers={},
+                config=self.pipeline_config,
+                transitive=transitive_replication,
+            )
+            place(sender)
+            self.senders.append(sender)
+
+        # Controller (client sessions) ---------------------------------------- #
+        self.controller = Controller(
+            f"{p}controller", self.plan, indexers=indexer_names, config=self.flstore_config
+        )
+        runtime.register(self.controller)
+
+        self.batcher_names = batcher_names
+        self.receiver_names = receiver_names
+        self._client_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    def _assign_filter_champions(self, filter_names: List[str]) -> None:
+        """Champion each host datacenter per §6.2.
+
+        With at least as many hosts as filters, each filter champions whole
+        hosts; with more filters than hosts, a host's records are split among
+        its champions by TOId residue (the odd/even scheme).
+        """
+        n_filters = len(filter_names)
+        n_hosts = len(self.datacenters)
+        if n_filters <= n_hosts:
+            for i, host in enumerate(sorted(self.datacenters)):
+                self.filter_map.assign_host(host, [filter_names[i % n_filters]])
+        else:
+            groups = _partition(filter_names, n_hosts)
+            for host, group in zip(sorted(self.datacenters), groups):
+                self.filter_map.assign_host(host, group or filter_names[:1])
+
+    # ------------------------------------------------------------------ #
+    # Inter-datacenter wiring
+    # ------------------------------------------------------------------ #
+
+    def connect_peer(self, peer: "DatacenterPipeline") -> None:
+        """Point this datacenter's senders at ``peer``'s receivers."""
+        for sender in self.senders:
+            sender.add_peer(peer.dc_id, peer.receiver_names)
+
+    # ------------------------------------------------------------------ #
+    # Clients
+    # ------------------------------------------------------------------ #
+
+    def client(self, name: Optional[str] = None) -> ChariotsClient:
+        self._client_count += 1
+        client_name = name or f"{self.dc_id}/client/{self._client_count}"
+        client = ChariotsClient(
+            client_name,
+            self.controller.name,
+            batchers=self.batcher_names,
+            seed=self._client_count,
+        )
+        self.runtime.register(client)
+        return client
+
+    def blocking_client(self, name: Optional[str] = None) -> BlockingChariotsClient:
+        return BlockingChariotsClient(self.client(name), self.runtime)
+
+    # ------------------------------------------------------------------ #
+    # Introspection (tests / diagnostics)
+    # ------------------------------------------------------------------ #
+
+    def all_entries(self) -> List[LogEntry]:
+        entries = [e for m in self.maintainers for e in m.core.stored_entries()]
+        entries.sort(key=lambda entry: entry.lid)
+        return entries
+
+    def head_of_log(self) -> int:
+        return min(m.core.head_of_log() for m in self.maintainers)
+
+    def frontier(self) -> KnowledgeVector:
+        """The datacenter's incorporation frontier (from the GC coordinator)."""
+        return self.gc.atable.self_row()
+
+    def total_records(self) -> int:
+        return sum(m.core.stored_count() for m in self.maintainers)
+
+
+class ChariotsDeployment:
+    """A full multi-datacenter Chariots deployment."""
+
+    def __init__(
+        self,
+        runtime: BaseRuntime,
+        datacenters: Sequence[DatacenterId],
+        spec: Optional[DeploymentSpec] = None,
+        specs: Optional[Dict[DatacenterId, DeploymentSpec]] = None,
+        batch_size: int = 1000,
+        pipeline_config: Optional[PipelineConfig] = None,
+        flstore_config: Optional[FLStoreConfig] = None,
+        n_indexers: int = 1,
+        placer: Optional[Placer] = None,
+        topology: Optional[Dict[DatacenterId, List[DatacenterId]]] = None,
+        transitive: Optional[bool] = None,
+    ) -> None:
+        """``topology`` maps each datacenter to the peers its senders ship
+        to (default: full mesh).  ``transitive`` turns on Replicated
+        Dictionary-style forwarding of third-party records — required for
+        convergence when the topology is not a full mesh, so it defaults
+        to True exactly when a custom topology is given."""
+        self.runtime = runtime
+        self.datacenters = list(datacenters)
+        if transitive is None:
+            transitive = topology is not None
+        self.transitive = transitive
+        self.pipelines: Dict[DatacenterId, DatacenterPipeline] = {}
+        for dc in self.datacenters:
+            dc_spec = (specs or {}).get(dc, spec)
+            self.pipelines[dc] = DatacenterPipeline(
+                runtime,
+                dc,
+                self.datacenters,
+                spec=dc_spec,
+                batch_size=batch_size,
+                pipeline_config=pipeline_config,
+                flstore_config=flstore_config,
+                n_indexers=n_indexers,
+                placer=placer,
+                transitive_replication=transitive,
+            )
+        for src in self.datacenters:
+            peers = (
+                topology.get(src, []) if topology is not None
+                else [dc for dc in self.datacenters if dc != src]
+            )
+            for dst in peers:
+                if src != dst:
+                    self.pipelines[src].connect_peer(self.pipelines[dst])
+
+    def __getitem__(self, dc: DatacenterId) -> DatacenterPipeline:
+        return self.pipelines[dc]
+
+    def client(self, dc: DatacenterId, name: Optional[str] = None) -> ChariotsClient:
+        return self.pipelines[dc].client(name)
+
+    def blocking_client(self, dc: DatacenterId, name: Optional[str] = None) -> BlockingChariotsClient:
+        return self.pipelines[dc].blocking_client(name)
+
+    # -- convergence helpers (tests) -------------------------------------- #
+
+    def record_sets(self) -> Dict[DatacenterId, set]:
+        return {
+            dc: {entry.rid for entry in pipe.all_entries()}
+            for dc, pipe in self.pipelines.items()
+        }
+
+    def frontiers(self) -> Dict[DatacenterId, Dict[DatacenterId, int]]:
+        return {
+            dc: {h: t for h, t in pipe.frontier().items() if t > 0}
+            for dc, pipe in self.pipelines.items()
+        }
+
+    def converged(self) -> bool:
+        """All datacenters have incorporated the same records.
+
+        Compares incorporation frontiers (max contiguous TOId per host),
+        which stays correct when garbage collection has already truncated
+        old records — record *sets* would diverge transiently under GC.
+        """
+        fronts = list(self.frontiers().values())
+        return all(f == fronts[0] for f in fronts[1:])
+
+    def settle(self, max_seconds: float = 30.0, check_interval: float = 0.1) -> bool:
+        """Run the deployment until replication converges (or time out)."""
+        self.runtime.start()
+        deadline = self.runtime.now + max_seconds
+        while self.runtime.now < deadline:
+            self.runtime.run_for(check_interval)
+            if self.converged() and self._pipelines_drained():
+                return True
+        return self.converged() and self._pipelines_drained()
+
+    def _pipelines_drained(self) -> bool:
+        for pipe in self.pipelines.values():
+            if any(q.deferred_count for q in pipe.queues):
+                return False
+            if any(f.core.buffered_count() for f in pipe.filters):
+                return False
+            # Conservation: every record the queues sequenced must have
+            # reached a maintainer (or been GC'd) — otherwise placements
+            # are still in flight and reads would race them.
+            sequenced = sum(pipe.frontier().values())
+            landed = pipe.total_records() + sum(
+                m.core.records_collected for m in pipe.maintainers
+            )
+            if landed < sequenced:
+                return False
+        return True

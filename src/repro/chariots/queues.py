@@ -1,0 +1,173 @@
+"""Queues: stage 4 of the Chariots pipeline (§6.2).
+
+Queues assign LIds while preserving causal order.  A single **token**
+circulates round-robin among the queues; it carries the datacenter's
+incorporation frontier (max contiguous TOId per host), the next LId, and a
+bounded set of deferred records.  The queue holding the token:
+
+1. merges the token's deferred records with its own buffered arrivals;
+2. admits every record whose causal dependencies the frontier satisfies
+   (externals in per-host TOId order, local drafts by constructing the
+   final record with the next local TOId and the current frontier as its
+   causality metadata — the distributed counterpart of §6.1's Append);
+3. assigns dense LIds and routes each record to the log maintainer that
+   owns its position (the queues know the deterministic assignment, §6.2);
+4. updates the token and passes it on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.causality import CausalFrontier, DeferredQueue
+from ..core.config import PipelineConfig
+from ..core.errors import DuplicateRecordError
+from ..core.record import DatacenterId, Record
+from ..flstore.messages import PlaceRecords
+from ..flstore.range_map import OwnershipPlan
+from ..runtime.actor import Actor
+from .messages import (
+    AdmittedBatch,
+    DraftCommitBatch,
+    DraftCommitted,
+    DraftRecord,
+    FrontierUpdate,
+    Token,
+    TokenPass,
+)
+
+
+class QueueStage(Actor):
+    """One queue machine of the token ring."""
+
+    def __init__(
+        self,
+        name: str,
+        dc_id: DatacenterId,
+        plan: OwnershipPlan,
+        next_queue: Optional[str] = None,
+        frontier_listeners: Optional[List[str]] = None,
+        config: Optional[PipelineConfig] = None,
+        holds_initial_token: bool = False,
+    ) -> None:
+        super().__init__(name)
+        self.dc_id = dc_id
+        self.plan = plan
+        self.next_queue = next_queue  # None = solo queue, token never leaves
+        self.frontier_listeners = list(frontier_listeners or [])
+        self.config = config or PipelineConfig()
+        self._token: Optional[Token] = Token() if holds_initial_token else None
+        self._buffered_externals: List[Record] = []
+        self._buffered_drafts: List[DraftRecord] = []
+        self._local_deferred: List[Record] = []
+        self.records_sequenced = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def holds_token(self) -> bool:
+        return self._token is not None
+
+    def on_start(self) -> None:
+        if self._token is not None and self.next_queue is not None:
+            self.set_timer(self.config.token_hold_interval, self._pass_token)
+
+    def on_message(self, sender: str, message: Any) -> None:
+        if isinstance(message, AdmittedBatch):
+            self._buffered_externals.extend(message.externals)
+            self._buffered_drafts.extend(message.drafts)
+            if self._token is not None:
+                self._process()
+        elif isinstance(message, TokenPass):
+            self._token = message.token
+            self._local_deferred.extend(message.token.deferred)
+            message.token.deferred = []
+            self._process()
+            if self.next_queue is not None:
+                self.set_timer(self.config.token_hold_interval, self._pass_token)
+
+    # ------------------------------------------------------------------ #
+    # Token-holder processing
+    # ------------------------------------------------------------------ #
+
+    def _process(self) -> None:
+        token = self._token
+        assert token is not None
+        frontier = CausalFrontier(token.frontier)
+
+        # 1. Externals: admit in causal order, defer the rest.
+        deferred = DeferredQueue()
+        for record in self._local_deferred + self._buffered_externals:
+            if frontier.is_duplicate(record):
+                continue
+            try:
+                deferred.push(record)
+            except DuplicateRecordError:
+                continue  # duplicate arrival of a still-deferred record
+        self._buffered_externals = []
+        ordered = deferred.drain(frontier)
+
+        # 2. Local drafts: construct final records with the current frontier
+        #    as their causality metadata (§6.1 Append, distributed form).
+        commits: List[DraftCommitted] = []
+        for draft in self._buffered_drafts:
+            toid = frontier.max_toid(self.dc_id) + 1
+            vector = frontier.snapshot()
+            vector.pop(self.dc_id, None)
+            for host, dep_toid in draft.deps:
+                if host != self.dc_id and dep_toid > vector.get(host, 0):
+                    vector[host] = dep_toid
+            record = Record.make(
+                self.dc_id, toid, draft.body, tags=dict(draft.tags), deps=vector
+            )
+            frontier.advance(record)
+            ordered.append(record)
+            commits.append(DraftCommitted(draft.client, draft.seq, record.rid, -1))
+        self._buffered_drafts = []
+
+        # 3. Assign LIds and route to the owning maintainers.
+        if ordered:
+            placements: Dict[str, PlaceRecords] = {}
+            lid_by_rid = {}
+            for record in ordered:
+                lid = token.next_lid
+                token.next_lid += 1
+                lid_by_rid[record.rid] = lid
+                owner = self.plan.owner(lid)
+                placements.setdefault(owner, PlaceRecords()).placements.append((lid, record))
+                self.records_sequenced += 1
+            for owner, message in placements.items():
+                self.send(owner, message)
+            by_client: Dict[str, DraftCommitBatch] = {}
+            for commit in commits:
+                commit.lid = lid_by_rid[commit.rid]
+                by_client.setdefault(commit.client, DraftCommitBatch()).commits.append(commit)
+            for client, batch in by_client.items():
+                self.send(client, batch)
+
+        # 4. Update the token; keep deferred overflow local.
+        token.frontier = frontier.snapshot()
+        self._local_deferred = deferred.peek_all()
+
+        if ordered:
+            update = FrontierUpdate(token.frontier, token.next_lid)
+            for listener in self.frontier_listeners:
+                self.send(listener, update)
+
+    def _pass_token(self) -> None:
+        token = self._token
+        if token is None or self.next_queue is None:
+            return
+        # Process anything that arrived during the hold interval.
+        self._process()
+        limit = self.config.token_deferred_limit
+        token.deferred = self._local_deferred[:limit]
+        self._local_deferred = self._local_deferred[limit:]
+        self._token = None
+        self.send(self.next_queue, TokenPass(token))
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def deferred_count(self) -> int:
+        return len(self._local_deferred)

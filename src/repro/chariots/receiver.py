@@ -1,0 +1,67 @@
+"""Receivers: the remote-ingest side of stage 1 (§6.2).
+
+Receivers accept replication shipments from other datacenters, acknowledge
+them, forward the records to the local batchers (round-robin), and report
+the shipping datacenter's knowledge vector to the local GC coordinator so
+the Awareness Table stays current.  Receivers are completely independent of
+one another — scaling the stage is coordination-free (§6.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Optional
+
+from ..core.config import PipelineConfig
+from ..core.record import DatacenterId
+from ..runtime.actor import Actor
+from .messages import FilterBatch, PeerVector, ReplicationShipment, ShipmentAck
+
+
+class Receiver(Actor):
+    """Ingests shipments from remote senders into the local pipeline."""
+
+    def __init__(
+        self,
+        name: str,
+        dc_id: DatacenterId,
+        batchers: List[str],
+        gc_coordinator: Optional[str] = None,
+        config: Optional[PipelineConfig] = None,
+    ) -> None:
+        super().__init__(name)
+        self.dc_id = dc_id
+        self.batchers = list(batchers)
+        self.gc_coordinator = gc_coordinator
+        self.config = config or PipelineConfig()
+        self._batcher_cycle = itertools.cycle(self.batchers)
+        self.records_received = 0
+        self.shipments_received = 0
+
+    def add_batcher(self, name: str) -> None:
+        """Elasticity: include a newly added batcher in the fan-out (§6.3)."""
+        if name not in self.batchers:
+            self.batchers.append(name)
+            self._batcher_cycle = itertools.cycle(self.batchers)
+
+    def on_message(self, sender: str, message: Any) -> None:
+        if not isinstance(message, ReplicationShipment):
+            return
+        self.shipments_received += 1
+        self.send(
+            sender,
+            ShipmentAck(
+                maintainer=message.maintainer,
+                ship_seq=message.ship_seq,
+                upto_lid=message.upto_lid,
+                from_dc=self.dc_id,
+            ),
+        )
+        if message.records:
+            self.records_received += len(message.records)
+            self.send(next(self._batcher_cycle), FilterBatch(externals=list(message.records)))
+        if self.gc_coordinator is not None and (message.vector or message.atable):
+            self.send(
+                self.gc_coordinator,
+                PeerVector(message.from_dc, dict(message.vector), matrix=message.atable),
+            )

@@ -1,0 +1,241 @@
+"""Senders: stage 6 of the Chariots pipeline (§6.2, "Log propagation").
+
+Each sender is responsible for shipping the *local* records held by a subset
+of the log maintainers to the receivers of the other datacenters.  A sender
+periodically pulls newly persisted entries from its maintainers
+(``ReadNewRequest``), keeps them buffered until every peer datacenter has
+acknowledged them, and retransmits unacknowledged shipments — duplicate
+deliveries are harmless because the remote filters admit exactly once.
+
+Every shipment also carries this datacenter's latest knowledge vector (from
+the queues' ``FrontierUpdate`` broadcasts); the receiving side feeds it into
+its Awareness Table, which drives garbage collection (§6.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.config import PipelineConfig
+from ..core.record import DatacenterId, KnowledgeVector, Record
+from ..flstore.messages import ReadNewReply, ReadNewRequest
+from ..runtime.actor import Actor
+from .messages import AtableSnapshot, FrontierUpdate, ReplicationShipment, ShipmentAck
+
+
+@dataclass
+class _PeerStream:
+    """Replication state toward one peer datacenter for one maintainer."""
+
+    acked_upto: int = -1
+    inflight_seq: Optional[int] = None
+    inflight_upto: int = -1
+    inflight_records: List[Record] = field(default_factory=list)
+    sent_at: float = 0.0
+
+
+class Sender(Actor):
+    """Ships local log records to remote datacenters."""
+
+    def __init__(
+        self,
+        name: str,
+        dc_id: DatacenterId,
+        maintainers: List[str],
+        peer_receivers: Dict[DatacenterId, List[str]],
+        config: Optional[PipelineConfig] = None,
+        retransmit_timeout: float = 0.5,
+        transitive: bool = False,
+    ) -> None:
+        super().__init__(name)
+        self.dc_id = dc_id
+        self.maintainers = list(maintainers)
+        self.peer_receivers = {dc: list(rs) for dc, rs in peer_receivers.items()}
+        self.config = config or PipelineConfig()
+        self.retransmit_timeout = retransmit_timeout
+        #: Transitive shipping (Replicated Dictionary style): forward
+        #: records from *any* host, so partial topologies still converge.
+        self.transitive = transitive
+        self._vector: KnowledgeVector = {}
+        self._atable_matrix = None
+        #: Fetched-but-not-globally-acked local records per maintainer.
+        self._buffer: Dict[str, List[Tuple[int, Record]]] = {m: [] for m in self.maintainers}
+        self._fetch_cursor: Dict[str, int] = {m: -1 for m in self.maintainers}
+        self._streams: Dict[Tuple[DatacenterId, str], _PeerStream] = {
+            (dc, m): _PeerStream()
+            for dc in self.peer_receivers
+            for m in self.maintainers
+        }
+        self._ship_seq = itertools.count(1)
+        self._receiver_cycle = {
+            dc: itertools.cycle(receivers) for dc, receivers in self.peer_receivers.items()
+        }
+        self._request_ids = itertools.count(1)
+        self._fetch_outstanding: Dict[int, str] = {}
+        self._last_vector_sent: Dict[DatacenterId, KnowledgeVector] = {}
+        self.records_shipped = 0
+
+    # ------------------------------------------------------------------ #
+
+    def add_maintainer(self, name: str) -> None:
+        """Elasticity: start shipping a newly added maintainer's records."""
+        if name in self.maintainers:
+            return
+        self.maintainers.append(name)
+        self._buffer[name] = []
+        self._fetch_cursor[name] = -1
+        for dc in self.peer_receivers:
+            self._streams[(dc, name)] = _PeerStream()
+
+    def add_peer(self, dc: DatacenterId, receivers: List[str]) -> None:
+        """Connect a remote datacenter (deployment wiring / elasticity)."""
+        self.peer_receivers[dc] = list(receivers)
+        self._receiver_cycle[dc] = itertools.cycle(receivers)
+        for maintainer in self.maintainers:
+            self._streams.setdefault((dc, maintainer), _PeerStream())
+
+    def on_start(self) -> None:
+        self.set_timer(self.config.replication_interval, self._tick, periodic=True)
+
+    def _tick(self) -> None:
+        if not self.peer_receivers:
+            return  # single-datacenter deployment: nothing to replicate
+        for maintainer in self.maintainers:
+            request_id = next(self._request_ids)
+            self._fetch_outstanding[request_id] = maintainer
+            self.send(
+                maintainer,
+                ReadNewRequest(
+                    request_id,
+                    after_lid=self._fetch_cursor[maintainer],
+                    limit=self.config.replication_batch_limit,
+                ),
+            )
+        self._ship_all()
+        self._heartbeat_vectors()
+
+    def _heartbeat_vectors(self) -> None:
+        """Ship a records-free vector update to peers whose view is stale.
+
+        Without this, a datacenter that stops appending would never tell its
+        peers what it has incorporated, and garbage collection (which needs
+        everyone's knowledge of everyone, §6.1) could stall.
+        """
+        for dc in self.peer_receivers:
+            if self._vector and self._vector != self._last_vector_sent.get(dc):
+                self._last_vector_sent[dc] = dict(self._vector)
+                receiver = next(self._receiver_cycle[dc])
+                self.send(
+                    receiver,
+                    ReplicationShipment(
+                        from_dc=self.dc_id,
+                        sender=self.name,
+                        maintainer="__vector__",
+                        ship_seq=0,
+                        records=[],
+                        vector=dict(self._vector),
+                        upto_lid=-1,
+                        atable=self._atable_matrix,
+                    ),
+                )
+
+    def on_message(self, sender: str, message: Any) -> None:
+        if isinstance(message, ReadNewReply):
+            maintainer = self._fetch_outstanding.pop(message.request_id, None)
+            if maintainer is None:
+                return
+            for entry in message.entries:
+                # Direct mode ships only locally-generated records (external
+                # ones reach the peers from their own hosts over the full
+                # mesh); transitive mode forwards everything.
+                if entry.record.internal:
+                    continue
+                if self.transitive or entry.record.host == self.dc_id:
+                    self._buffer[maintainer].append((entry.lid, entry.record))
+            if message.upto > self._fetch_cursor[maintainer]:
+                self._fetch_cursor[maintainer] = message.upto
+            self._ship_all()
+        elif isinstance(message, FrontierUpdate):
+            for host, toid in message.vector.items():
+                if toid > self._vector.get(host, 0):
+                    self._vector[host] = toid
+        elif isinstance(message, AtableSnapshot):
+            self._atable_matrix = message.matrix
+        elif isinstance(message, ShipmentAck):
+            self._on_ack(message)
+
+    # ------------------------------------------------------------------ #
+
+    def _ship_all(self) -> None:
+        for (dc, maintainer), stream in self._streams.items():
+            self._ship_one(dc, maintainer, stream)
+
+    def _ship_one(self, dc: DatacenterId, maintainer: str, stream: _PeerStream) -> None:
+        if stream.inflight_seq is not None:
+            if self.now - stream.sent_at >= self.retransmit_timeout:
+                self._transmit(dc, maintainer, stream)  # retransmission
+            return
+        pending = [
+            (lid, record)
+            for lid, record in self._buffer[maintainer]
+            if lid > stream.acked_upto
+        ]
+        if not pending:
+            return
+        pending = pending[: self.config.replication_batch_limit]
+        stream.inflight_seq = next(self._ship_seq)
+        stream.inflight_upto = pending[-1][0]
+        # Never echo a datacenter's own records back to it (transitive mode
+        # forwards third-party records only; the filters would drop echoes
+        # anyway, this just saves the bandwidth).
+        stream.inflight_records = [
+            record for _lid, record in pending if record.host != dc
+        ]
+        self._transmit(dc, maintainer, stream)
+
+    def _transmit(self, dc: DatacenterId, maintainer: str, stream: _PeerStream) -> None:
+        receiver = next(self._receiver_cycle[dc])
+        stream.sent_at = self.now
+        self.send(
+            receiver,
+            ReplicationShipment(
+                from_dc=self.dc_id,
+                sender=self.name,
+                maintainer=maintainer,
+                ship_seq=stream.inflight_seq or 0,
+                records=list(stream.inflight_records),
+                vector=dict(self._vector),
+                upto_lid=stream.inflight_upto,
+                atable=self._atable_matrix,
+            ),
+        )
+        self.records_shipped += len(stream.inflight_records)
+
+    def _on_ack(self, ack: ShipmentAck) -> None:
+        stream = self._streams.get((ack.from_dc, ack.maintainer))
+        if stream is None or stream.inflight_seq != ack.ship_seq:
+            return  # stale ack (retransmission already superseded it)
+        stream.acked_upto = max(stream.acked_upto, ack.upto_lid)
+        stream.inflight_seq = None
+        stream.inflight_records = []
+        self._compact(ack.maintainer)
+        self._ship_one(ack.from_dc, ack.maintainer, stream)
+
+    def _compact(self, maintainer: str) -> None:
+        """Drop buffered records acknowledged by every peer datacenter."""
+        if not self.peer_receivers:
+            self._buffer[maintainer] = []
+            return
+        floor = min(
+            self._streams[(dc, maintainer)].acked_upto for dc in self.peer_receivers
+        )
+        self._buffer[maintainer] = [
+            (lid, record) for lid, record in self._buffer[maintainer] if lid > floor
+        ]
+
+    # ------------------------------------------------------------------ #
+
+    def buffered_records(self) -> int:
+        return sum(len(b) for b in self._buffer.values())

@@ -1,0 +1,183 @@
+"""Command-line interface: demos, experiment runs, and log inspection.
+
+Usage (also available as ``chariots-repro`` when installed with pip):
+
+    python -m repro.cli demo                     # two-datacenter walkthrough
+    python -m repro.cli table1                   # the systems comparison
+    python -m repro.cli bench fig7               # one evaluation experiment
+    python -m repro.cli bench table3
+    python -m repro.cli inspect-journal m0.journal
+    python -m repro.cli inspect-archive archive.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .chariots import ChariotsDeployment
+    from .runtime import LocalRuntime
+
+    runtime = LocalRuntime()
+    dcs = args.datacenters.split(",")
+    deployment = ChariotsDeployment(runtime, dcs, batch_size=100)
+    clients = {dc: deployment.blocking_client(dc) for dc in dcs}
+    print(f"Chariots demo: {len(dcs)} datacenters ({', '.join(dcs)})")
+    for i in range(args.records):
+        for dc, client in clients.items():
+            client.append(f"record-{i}-from-{dc}", tags={"round": i})
+    converged = deployment.settle(max_seconds=30)
+    print(f"appended {args.records} records per datacenter; converged: {converged}")
+    for dc in dcs:
+        pipe = deployment[dc]
+        print(f"  {dc}: {pipe.total_records()} records, head of log {pipe.head_of_log()}, "
+              f"frontier {pipe.frontier()}")
+    show = min(6, args.records * len(dcs))
+    print(f"first {show} log positions at {dcs[0]}:")
+    for entry in deployment[dcs[0]].all_entries()[:show]:
+        print(f"  [{entry.lid}] {entry.rid} {entry.record.body!r}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .bench.comparison import render
+
+    print(render())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import run_corfu_sim, run_flstore_sim, run_pipeline_sim
+    from .core import PRIVATE_CLOUD, PUBLIC_CLOUD
+
+    name = args.experiment
+    duration, warmup = args.duration, min(0.4, args.duration / 3)
+    if name == "fig7":
+        print("Figure 7: one public-cloud maintainer, achieved vs target")
+        for target in (50_000, 100_000, 150_000, 200_000, 250_000):
+            result = run_flstore_sim(1, target, duration=duration, warmup=warmup)
+            print(f"  target {target/1000:6.0f}K -> achieved {result.achieved_total/1000:6.1f}K")
+    elif name == "fig8":
+        print("Figure 8: FLStore scaling (private cloud, 131K/maintainer)")
+        for n in (1, 2, 4, 8):
+            result = run_flstore_sim(
+                n, 131_000, maintainer_profile=PRIVATE_CLOUD,
+                duration=duration, warmup=warmup,
+            )
+            print(f"  {n:2d} maintainers -> {result.achieved_total/1000:7.1f}K "
+                  f"({result.perfect_scaling_fraction:.1%} of perfect)")
+    elif name in ("table2", "table3", "table4", "table5"):
+        spec = {
+            "table2": dict(clients=1),
+            "table3": dict(clients=2),
+            "table4": dict(clients=2, batchers=2),
+            "table5": dict(clients=2, batchers=2, filters=2, queues=2,
+                           maintainers=2, senders=2, receivers=2),
+        }[name]
+        result = run_pipeline_sim(duration=duration, warmup=warmup, **spec)
+        print(f"{name.capitalize()}: per-machine throughput (K records/s)")
+        for stage, machine, rate in result.rows():
+            print(f"  {stage:<8} {machine:<18} {rate/1000:7.1f}K")
+        print(f"  bottleneck: {result.bottleneck()}")
+    elif name == "corfu":
+        print("Ablation: FLStore vs CORFU-style sequencer")
+        for n in (1, 2, 4, 8):
+            flstore = run_flstore_sim(n, 125_000, duration=duration, warmup=warmup)
+            corfu = run_corfu_sim(
+                n, 125_000, sequencer_capacity=30_000.0, grant_batch=16,
+                duration=duration, warmup=warmup,
+            )
+            print(f"  {n:2d} units: FLStore {flstore.achieved_total/1000:7.1f}K"
+                  f"   CORFU {corfu.achieved_total/1000:7.1f}K")
+    else:  # pragma: no cover - argparse choices prevent this
+        print(f"unknown experiment {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_inspect_journal(args: argparse.Namespace) -> int:
+    from .flstore.journal import FileJournal
+
+    journal = FileJournal(args.path)
+    entries = list(journal.replay())
+    journal.close()
+    if not entries:
+        print(f"{args.path}: empty journal")
+        return 0
+    lids = [lid for lid, _ in entries]
+    hosts = sorted({record.host for _, record in entries})
+    print(f"{args.path}: {len(entries)} placements")
+    print(f"  LId range: {min(lids)}..{max(lids)}")
+    print(f"  host datacenters: {', '.join(hosts)}")
+    if args.verbose:
+        for lid, record in entries[: args.limit]:
+            print(f"  [{lid}] {record.rid} tags={record.tag_dict()}")
+    return 0
+
+
+def _cmd_inspect_archive(args: argparse.Namespace) -> int:
+    from .core import ReadRules
+    from .flstore.archive import ArchiveStore
+
+    archive = ArchiveStore.load(args.path)
+    print(f"{args.path}: {len(archive)} archived records")
+    lid_range = archive.lid_range()
+    if lid_range:
+        print(f"  LId range: {lid_range[0]}..{lid_range[1]}")
+    if args.verbose:
+        for entry in archive.read(ReadRules(most_recent=False, limit=args.limit,
+                                            include_internal=True)):
+            print(f"  [{entry.lid}] {entry.rid} tags={entry.record.tag_dict()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chariots-repro",
+        description="Chariots shared-log reproduction: demos, experiments, inspection.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a multi-datacenter demo")
+    demo.add_argument("--datacenters", default="A,B", help="comma-separated ids")
+    demo.add_argument("--records", type=int, default=5, help="appends per datacenter")
+    demo.set_defaults(func=_cmd_demo)
+
+    table1 = sub.add_parser("table1", help="print the systems comparison (Table 1)")
+    table1.set_defaults(func=_cmd_table1)
+
+    bench = sub.add_parser("bench", help="run one evaluation experiment")
+    bench.add_argument(
+        "experiment",
+        choices=["fig7", "fig8", "table2", "table3", "table4", "table5", "corfu"],
+    )
+    bench.add_argument("--duration", type=float, default=1.0,
+                       help="simulated seconds per data point")
+    bench.set_defaults(func=_cmd_bench)
+
+    journal = sub.add_parser("inspect-journal", help="summarise a maintainer journal")
+    journal.add_argument("path")
+    journal.add_argument("-v", "--verbose", action="store_true")
+    journal.add_argument("--limit", type=int, default=20)
+    journal.set_defaults(func=_cmd_inspect_journal)
+
+    archive = sub.add_parser("inspect-archive", help="summarise a cold-storage dump")
+    archive.add_argument("path")
+    archive.add_argument("-v", "--verbose", action="store_true")
+    archive.add_argument("--limit", type=int, default=20)
+    archive.set_defaults(func=_cmd_inspect_archive)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Exception hierarchy for the Chariots reproduction.
+
+All library errors derive from :class:`ChariotsError` so callers can catch a
+single base class at API boundaries.  Subclasses are grouped by the subsystem
+that raises them, but they live in ``core`` so every layer (FLStore, the
+Chariots pipeline, applications) can share them without import cycles.
+"""
+
+from __future__ import annotations
+
+
+class ChariotsError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ChariotsError):
+    """An invalid configuration value was supplied."""
+
+
+class LogError(ChariotsError):
+    """Base class for shared-log storage errors."""
+
+
+class LidOutOfRangeError(LogError):
+    """A log position was requested outside the log's current bounds."""
+
+    def __init__(self, lid: int, head: int) -> None:
+        super().__init__(f"LId {lid} is beyond the head of the log ({head})")
+        self.lid = lid
+        self.head = head
+
+
+class GapError(LogError):
+    """A read touched a log position that is still a gap.
+
+    FLStore guarantees that clients never *observe* gaps; internally this is
+    raised when a reader asks for a position at or below the reported head of
+    the log that the owning maintainer has not yet filled, which indicates a
+    protocol violation (the head-of-log gossip said the position was safe).
+    """
+
+    def __init__(self, lid: int) -> None:
+        super().__init__(f"log position {lid} is an unfilled gap")
+        self.lid = lid
+
+
+class ImmutabilityError(LogError):
+    """An attempt was made to overwrite an already-persisted record."""
+
+    def __init__(self, lid: int) -> None:
+        super().__init__(f"log position {lid} already holds a record; records are immutable")
+        self.lid = lid
+
+
+class NotOwnerError(LogError):
+    """A maintainer was asked to serve a log position it does not own."""
+
+    def __init__(self, lid: int, maintainer: str) -> None:
+        super().__init__(f"maintainer {maintainer!r} does not own LId {lid}")
+        self.lid = lid
+        self.maintainer = maintainer
+
+
+class GarbageCollectedError(LogError):
+    """A read touched a log position that has been garbage collected."""
+
+    def __init__(self, lid: int, frontier: int) -> None:
+        super().__init__(f"LId {lid} was garbage collected (frontier is {frontier})")
+        self.lid = lid
+        self.frontier = frontier
+
+
+class CausalityError(ChariotsError):
+    """A causal-ordering invariant was violated (or would be violated)."""
+
+
+class DependencyUnsatisfiedError(CausalityError):
+    """A record was incorporated before one of its causal dependencies."""
+
+    def __init__(self, record_id: object, missing: object) -> None:
+        super().__init__(f"record {record_id} incorporated before dependency {missing}")
+        self.record_id = record_id
+        self.missing = missing
+
+
+class DuplicateRecordError(ChariotsError):
+    """The same (host datacenter, TOId) pair was admitted twice."""
+
+    def __init__(self, record_id: object) -> None:
+        super().__init__(f"duplicate record {record_id} admitted past the filter stage")
+        self.record_id = record_id
+
+
+class SessionError(ChariotsError):
+    """A client operation was attempted without a valid session."""
+
+
+class TransactionAborted(ChariotsError):
+    """A transaction failed conflict detection and was aborted.
+
+    Raised by the Message Futures and Helios commit protocols.
+    """
+
+    def __init__(self, txn_id: object, reason: str = "write-write conflict") -> None:
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class RuntimeExhaustedError(ChariotsError):
+    """The runtime stopped before a requested condition became true."""
+
+
+class NetworkProtocolError(ChariotsError):
+    """A malformed frame or message was received on the wire."""

@@ -1,0 +1,195 @@
+"""In-memory shared-log storage with gap tracking and tag indexing.
+
+:class:`LogStore` is the storage primitive used by log maintainers (each
+maintainer holds a ``LogStore`` restricted to the LIds it owns) and by the
+abstract single-node solution (which holds the whole log in one store).
+
+The store separates two notions the paper is careful about (§5.4):
+
+* the **max assigned LId** — how far any position has been filled, and
+* the **head of the log (HL)** — the highest LId below which *no gaps*
+  exist, which is what readers are allowed to observe.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from .errors import GarbageCollectedError, GapError, ImmutabilityError, LidOutOfRangeError
+from .record import LogEntry, ReadRules, Record, RecordId
+
+
+class LogStore:
+    """A (possibly sparse) mapping from LIds to records with a dense prefix.
+
+    Supports out-of-order placement (``put``), contiguity tracking
+    (``contiguous_upto``), rule-based reads, tag lookup, truncation for
+    garbage collection, and an optional append journal hook for durability
+    testing.
+    """
+
+    def __init__(self, journal: Optional[Callable[[int, Record], None]] = None) -> None:
+        self._entries: Dict[int, Record] = {}
+        self._by_rid: Dict[RecordId, int] = {}
+        self._tag_index: Dict[str, List[int]] = defaultdict(list)
+        self._max_lid: int = -1
+        self._contiguous_upto: int = -1  # highest L such that 0..L all present
+        self._truncated_below: int = 0   # LIds < this were garbage collected
+        self._journal = journal
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+
+    def put(self, lid: int, record: Record) -> LogEntry:
+        """Place ``record`` at position ``lid``.
+
+        Positions are write-once (records are immutable); re-putting the
+        *same* record at the same position is an idempotent no-op so that
+        retried placements are harmless.
+        """
+        existing = self._entries.get(lid)
+        if existing is not None:
+            if existing.rid == record.rid:
+                return LogEntry(lid, existing)
+            raise ImmutabilityError(lid)
+        if lid < self._truncated_below:
+            raise GarbageCollectedError(lid, self._truncated_below)
+        self._entries[lid] = record
+        self._by_rid[record.rid] = lid
+        for key, _value in record.tags:
+            self._tag_index[key].append(lid)
+        if lid > self._max_lid:
+            self._max_lid = lid
+        while (self._contiguous_upto + 1) in self._entries:
+            self._contiguous_upto += 1
+        if self._journal is not None:
+            self._journal(lid, record)
+        return LogEntry(lid, record)
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    def get(self, lid: int) -> LogEntry:
+        """Read the record at ``lid``; raises on gaps, GC'd, or unknown LIds."""
+        if lid < self._truncated_below:
+            raise GarbageCollectedError(lid, self._truncated_below)
+        record = self._entries.get(lid)
+        if record is None:
+            if lid <= self._max_lid:
+                raise GapError(lid)
+            raise LidOutOfRangeError(lid, self._max_lid)
+        return LogEntry(lid, record)
+
+    def try_get(self, lid: int) -> Optional[LogEntry]:
+        """Like :meth:`get` but returns ``None`` instead of raising."""
+        record = self._entries.get(lid)
+        if record is None:
+            return None
+        return LogEntry(lid, record)
+
+    def has(self, lid: int) -> bool:
+        return lid in self._entries
+
+    def has_record(self, rid: RecordId) -> bool:
+        return rid in self._by_rid
+
+    def lid_of(self, rid: RecordId) -> Optional[int]:
+        return self._by_rid.get(rid)
+
+    def read(self, rules: ReadRules) -> List[LogEntry]:
+        """Rule-based scan honoring limit/most-recent semantics (§3 Read)."""
+        lids: Iterator[int]
+        if rules.tag_key is not None:
+            candidate = self._tag_index.get(rules.tag_key, [])
+            lids = iter(sorted(candidate, reverse=rules.most_recent))
+        else:
+            span = range(self._truncated_below, self._max_lid + 1)
+            lids = iter(reversed(span)) if rules.most_recent else iter(span)
+        matches: List[LogEntry] = []
+        for lid in lids:
+            record = self._entries.get(lid)
+            if record is None:
+                continue
+            entry = LogEntry(lid, record)
+            if rules.matches(entry):
+                matches.append(entry)
+                if rules.limit is not None and len(matches) >= rules.limit:
+                    break
+        return matches
+
+    def scan(self, start: int = 0, end: Optional[int] = None) -> List[LogEntry]:
+        """Dense scan of ``[start, end]``; raises :class:`GapError` on holes."""
+        upper = self._max_lid if end is None else end
+        out = []
+        for lid in range(max(start, self._truncated_below), upper + 1):
+            out.append(self.get(lid))
+        return out
+
+    def entries(self) -> List[LogEntry]:
+        """All present entries in LId order (gaps skipped)."""
+        return [LogEntry(lid, self._entries[lid]) for lid in sorted(self._entries)]
+
+    def records(self) -> List[Record]:
+        return [entry.record for entry in self.entries()]
+
+    # ------------------------------------------------------------------ #
+    # State queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def max_lid(self) -> int:
+        """Highest filled position; -1 when empty."""
+        return self._max_lid
+
+    @property
+    def contiguous_upto(self) -> int:
+        """Highest L such that every position in ``[truncated, L]`` is filled."""
+        return self._contiguous_upto
+
+    @property
+    def truncated_below(self) -> int:
+        return self._truncated_below
+
+    def gaps(self) -> List[int]:
+        """Unfilled positions below ``max_lid`` (diagnostics/tests)."""
+        return [
+            lid
+            for lid in range(self._truncated_below, self._max_lid)
+            if lid not in self._entries
+        ]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # Garbage collection
+    # ------------------------------------------------------------------ #
+
+    def truncate_below(self, lid: int) -> int:
+        """Discard every entry with LId strictly below ``lid``.
+
+        Returns the number of entries dropped.  Only contiguously-filled
+        prefixes may be truncated (you cannot GC past a gap).
+        """
+        lid = min(lid, self._contiguous_upto + 1)
+        dropped = 0
+        for victim in range(self._truncated_below, lid):
+            record = self._entries.pop(victim, None)
+            if record is not None:
+                self._by_rid.pop(record.rid, None)
+                for key, _value in record.tags:
+                    bucket = self._tag_index.get(key)
+                    if bucket is not None:
+                        try:
+                            bucket.remove(victim)
+                        except ValueError:  # pragma: no cover - defensive
+                            pass
+                dropped += 1
+        if lid > self._truncated_below:
+            self._truncated_below = lid
+        if self._contiguous_upto < self._truncated_below - 1:
+            self._contiguous_upto = self._truncated_below - 1
+        return dropped

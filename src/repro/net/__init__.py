@@ -1,0 +1,18 @@
+"""Real-network runtimes: TCP FLStore servers and the socket-routed pipeline."""
+
+from .aio_runtime import AioRuntime
+from .client import AsyncFLStoreClient
+from .codec import decode_message, encode_message
+from .deploy import FLStoreNetDeployment
+from .server import ControllerServer, IndexerServer, MaintainerServer
+
+__all__ = [
+    "AioRuntime",
+    "AsyncFLStoreClient",
+    "ControllerServer",
+    "FLStoreNetDeployment",
+    "IndexerServer",
+    "MaintainerServer",
+    "decode_message",
+    "encode_message",
+]

@@ -1,0 +1,191 @@
+"""asyncio client for a TCP-deployed FLStore.
+
+Mirrors the in-process client (§3's interface): session bootstrap through
+the controller, post-assignment appends round-robined over the maintainer
+servers, reads routed by the deterministic ownership function, tag lookups
+through the indexers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..core.errors import ChariotsError, NetworkProtocolError, SessionError
+from ..core.record import AppendResult, LogEntry, ReadRules, Record
+from ..flstore.range_map import OwnershipPlan
+from .protocol import (
+    entry_from_dict,
+    read_frame,
+    record_to_dict,
+    result_from_dict,
+    rules_to_dict,
+    write_frame,
+)
+
+
+def _parse_address(address: str) -> Tuple[str, int]:
+    host, _, port = address.rpartition(":")
+    return host, int(port)
+
+
+class _Connection:
+    """One request/response TCP connection with lazy connect."""
+
+    def __init__(self, address: str) -> None:
+        self.address = address
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+
+    async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        async with self._lock:
+            if self._writer is None:
+                host, port = _parse_address(self.address)
+                self._reader, self._writer = await asyncio.open_connection(host, port)
+            assert self._reader is not None and self._writer is not None
+            await write_frame(self._writer, message)
+            response = await read_frame(self._reader)
+        if response is None:
+            raise NetworkProtocolError(f"server {self.address} closed the connection")
+        if response.get("type") == "error":
+            raise ChariotsError(response.get("error", "remote error"))
+        return response
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - platform dependent
+                pass
+            self._writer = None
+            self._reader = None
+
+
+class AsyncFLStoreClient:
+    """Networked application client for FLStore over TCP."""
+
+    def __init__(self, controller_address: str, client_id: str = "net-client") -> None:
+        self.controller = _Connection(controller_address)
+        self.client_id = client_id
+        self._maintainers: Dict[str, _Connection] = {}
+        self._indexers: Dict[str, _Connection] = {}
+        self._plan: Optional[OwnershipPlan] = None
+        self._maintainer_cycle = None
+        self._indexer_names: List[str] = []
+        self._toids = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # Session
+    # ------------------------------------------------------------------ #
+
+    async def connect(self) -> None:
+        info = await self.controller.request({"type": "session", "request_id": 1})
+        self._maintainers = {
+            name: _Connection(address) for name, address in info["maintainers"].items()
+        }
+        self._indexers = {
+            name: _Connection(address) for name, address in info["indexers"].items()
+        }
+        self._indexer_names = sorted(self._indexers)
+        epochs = info["epochs"]
+        plan = OwnershipPlan(epochs[0][2], batch_size=epochs[0][1])
+        for start_lid, batch_size, maintainers in epochs[1:]:
+            plan.add_epoch(start_lid, maintainers, batch_size)
+        self._plan = plan
+        self._maintainer_cycle = itertools.cycle(sorted(self._maintainers))
+
+    async def close(self) -> None:
+        await self.controller.close()
+        for conn in list(self._maintainers.values()) + list(self._indexers.values()):
+            await conn.close()
+
+    def _require_session(self) -> OwnershipPlan:
+        if self._plan is None:
+            raise SessionError("call connect() before issuing operations")
+        return self._plan
+
+    # ------------------------------------------------------------------ #
+    # Operations (§3)
+    # ------------------------------------------------------------------ #
+
+    async def append(
+        self,
+        body: Any,
+        tags: Optional[Mapping[str, Any]] = None,
+        min_lid: Optional[int] = None,
+    ) -> AppendResult:
+        results = await self.append_records(
+            [Record.make(f"client/{self.client_id}", next(self._toids), body, tags=tags)],
+            min_lid=min_lid,
+        )
+        return results[0]
+
+    async def append_records(
+        self, records: List[Record], min_lid: Optional[int] = None
+    ) -> List[AppendResult]:
+        self._require_session()
+        assert self._maintainer_cycle is not None
+        target = next(self._maintainer_cycle)
+        response = await self._maintainers[target].request(
+            {
+                "type": "append",
+                "records": [record_to_dict(r) for r in records],
+                "min_lid": min_lid,
+            }
+        )
+        if response["type"] == "append_deferred":
+            raise ChariotsError("append deferred on its minimum-LId bound; retry later")
+        return [result_from_dict(r) for r in response["results"]]
+
+    async def read_lid(self, lid: int) -> LogEntry:
+        plan = self._require_session()
+        owner = plan.owner(lid)
+        response = await self._maintainers[owner].request({"type": "read_lid", "lid": lid})
+        return entry_from_dict(response["entries"][0])
+
+    async def read(self, rules: ReadRules) -> List[LogEntry]:
+        self._require_session()
+        if rules.tag_key is not None and self._indexer_names:
+            return await self._read_via_index(rules)
+        entries: List[LogEntry] = []
+        for conn in self._maintainers.values():
+            response = await conn.request(
+                {"type": "read_rules", "rules": rules_to_dict(rules)}
+            )
+            entries.extend(entry_from_dict(e) for e in response["entries"])
+        entries.sort(key=lambda e: e.lid, reverse=rules.most_recent)
+        if rules.limit is not None:
+            entries = entries[: rules.limit]
+        return entries
+
+    async def _read_via_index(self, rules: ReadRules) -> List[LogEntry]:
+        plan = self._require_session()
+        assert rules.tag_key is not None
+        indexer = self._indexer_names[hash(rules.tag_key) % len(self._indexer_names)]
+        response = await self._indexers[indexer].request(
+            {
+                "type": "lookup",
+                "tag_key": rules.tag_key,
+                "tag_value": rules.tag_value,
+                "tag_min_value": rules.tag_min_value,
+                "limit": rules.limit,
+                "most_recent": rules.most_recent,
+                "max_lid": rules.max_lid,
+            }
+        )
+        entries = []
+        for lid in response["lids"]:
+            owner = plan.owner(lid)
+            reply = await self._maintainers[owner].request({"type": "read_lid", "lid": lid})
+            entries.append(entry_from_dict(reply["entries"][0]))
+        return [e for e in entries if rules.matches(e)]
+
+    async def head(self) -> int:
+        self._require_session()
+        assert self._maintainer_cycle is not None
+        target = next(self._maintainer_cycle)
+        response = await self._maintainers[target].request({"type": "head"})
+        return response["head_lid"]

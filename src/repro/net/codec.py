@@ -1,0 +1,215 @@
+"""Tagged-JSON codec for every protocol message.
+
+The in-process runtimes pass Python objects by reference; running the same
+actors over real sockets requires serialising them.  This codec maps each
+protocol dataclass to a tagged JSON object (``{"$": "<type>", ...}``) and
+back, recursively — safe to decode (no code execution, unlike pickle) and
+symmetric (``decode(encode(x)) == x`` for every message type).
+
+Containers are tagged too (``$l`` list, ``$t`` tuple, ``$d`` dict), so
+arbitrary JSON-representable application bodies round-trip with their exact
+Python types, and dict keys are not restricted to strings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple, Type
+
+from ..baseline.sequencer import ReservedRange, SequencerRequest
+from ..chariots import messages as cmsg
+from ..core.record import AppendResult, LogEntry, ReadRules, Record, RecordId
+from ..core.errors import NetworkProtocolError
+from ..flstore import messages as fmsg
+
+# --------------------------------------------------------------------- #
+# Core value types with bespoke encodings
+# --------------------------------------------------------------------- #
+
+
+def _encode_record(record: Record) -> Dict[str, Any]:
+    return {
+        "host": record.host,
+        "toid": record.toid,
+        "body": encode_value(record.body),
+        "tags": [[k, encode_value(v)] for k, v in record.tags],
+        "deps": [[dc, t] for dc, t in record.deps],
+        "internal": record.internal,
+    }
+
+
+def _decode_record(data: Dict[str, Any]) -> Record:
+    return Record(
+        rid=RecordId(data["host"], data["toid"]),
+        body=decode_value(data["body"]),
+        tags=tuple((k, decode_value(v)) for k, v in data["tags"]),
+        deps=tuple((dc, t) for dc, t in data["deps"]),
+        internal=data["internal"],
+    )
+
+
+_SPECIALS: Dict[str, Tuple[Type, Callable, Callable]] = {}
+
+
+def _register(
+    name: str,
+    cls: Type,
+    encoder: Callable[[Any], Dict[str, Any]],
+    decoder: Callable[[Dict[str, Any]], Any],
+) -> None:
+    _SPECIALS[name] = (cls, encoder, decoder)
+
+
+_register("Record", Record, _encode_record, _decode_record)
+_register(
+    "RecordId",
+    RecordId,
+    lambda r: {"host": r.host, "toid": r.toid},
+    lambda d: RecordId(d["host"], d["toid"]),
+)
+_register(
+    "LogEntry",
+    LogEntry,
+    lambda e: {"lid": e.lid, "record": _encode_record(e.record)},
+    lambda d: LogEntry(d["lid"], _decode_record(d["record"])),
+)
+_register(
+    "AppendResult",
+    AppendResult,
+    lambda r: {"host": r.rid.host, "toid": r.rid.toid, "lid": r.lid},
+    lambda d: AppendResult(RecordId(d["host"], d["toid"]), d["lid"]),
+)
+
+# --------------------------------------------------------------------- #
+# Generic dataclass handling for the protocol messages
+# --------------------------------------------------------------------- #
+
+#: Every message type that may cross a socket.  Field values are encoded
+#: with :func:`encode_value`, so nested records/entries/containers work.
+_MESSAGE_TYPES: Tuple[Type, ...] = (
+    # FLStore
+    fmsg.AppendRequest,
+    fmsg.AppendReply,
+    fmsg.PlaceRecords,
+    fmsg.ReadRequest,
+    fmsg.ReadReply,
+    fmsg.ReadNewRequest,
+    fmsg.ReadNewReply,
+    fmsg.GossipHL,
+    fmsg.HeadRequest,
+    fmsg.HeadReply,
+    fmsg.IndexUpdate,
+    fmsg.LookupRequest,
+    fmsg.LookupReply,
+    fmsg.SessionRequest,
+    fmsg.SessionInfo,
+    fmsg.LoadReport,
+    fmsg.TruncateBelow,
+    fmsg.PruneIndexBelow,
+    fmsg.GcReport,
+    # Chariots
+    cmsg.DraftRecord,
+    cmsg.DraftBatch,
+    cmsg.FilterBatch,
+    cmsg.AdmittedBatch,
+    cmsg.Token,
+    cmsg.TokenPass,
+    cmsg.DraftCommitted,
+    cmsg.DraftCommitBatch,
+    cmsg.FrontierUpdate,
+    cmsg.ReplicationShipment,
+    cmsg.ShipmentAck,
+    cmsg.PeerVector,
+    cmsg.AtableSnapshot,
+    # Baseline
+    SequencerRequest,
+    ReservedRange,
+)
+
+_BY_NAME: Dict[str, Type] = {cls.__name__: cls for cls in _MESSAGE_TYPES}
+_MESSAGE_SET = set(_MESSAGE_TYPES)
+
+# ReadRules is a plain dataclass used inside ReadRequest/LookupRequest.
+_BY_NAME["ReadRules"] = ReadRules
+_MESSAGE_SET.add(ReadRules)
+
+
+def _dataclass_fields(obj: Any) -> Dict[str, Any]:
+    import dataclasses
+
+    return {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}
+
+
+# --------------------------------------------------------------------- #
+# Recursive value encoding
+# --------------------------------------------------------------------- #
+
+
+def encode_value(value: Any) -> Any:
+    """Encode any protocol value into tagged, JSON-serialisable form."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        import base64
+
+        return {"$": "bytes", "v": base64.b64encode(value).decode("ascii")}
+    for name, (cls, encoder, _decoder) in _SPECIALS.items():
+        if type(value) is cls:
+            return {"$": name, "v": encoder(value)}
+    if type(value) in _MESSAGE_SET:
+        return {
+            "$": type(value).__name__,
+            "v": {k: encode_value(v) for k, v in _dataclass_fields(value).items()},
+        }
+    if isinstance(value, tuple):
+        return {"$": "t", "v": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return {"$": "l", "v": [encode_value(v) for v in value]}
+    if isinstance(value, dict):
+        return {"$": "d", "v": [[encode_value(k), encode_value(v)] for k, v in value.items()]}
+    raise NetworkProtocolError(
+        f"cannot encode value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):  # produced only inside tagged containers
+        return [decode_value(v) for v in value]
+    if not isinstance(value, dict) or "$" not in value:
+        raise NetworkProtocolError(f"malformed encoded value: {value!r}")
+    tag = value["$"]
+    payload = value.get("v")
+    if tag == "bytes":
+        import base64
+
+        return base64.b64decode(payload)
+    if tag == "t":
+        return tuple(decode_value(v) for v in payload)
+    if tag == "l":
+        return [decode_value(v) for v in payload]
+    if tag == "d":
+        return {decode_value(k): decode_value(v) for k, v in payload}
+    if tag in _SPECIALS:
+        _cls, _encoder, decoder = _SPECIALS[tag]
+        return decoder(payload)
+    cls = _BY_NAME.get(tag)
+    if cls is None:
+        raise NetworkProtocolError(f"unknown message type {tag!r}")
+    kwargs = {k: decode_value(v) for k, v in payload.items()}
+    return cls(**kwargs)
+
+
+def encode_message(message: Any) -> Dict[str, Any]:
+    """Encode a top-level protocol message (must be a registered type)."""
+    encoded = encode_value(message)
+    if not isinstance(encoded, dict) or "$" not in encoded:
+        raise NetworkProtocolError(
+            f"{type(message).__name__} is not a registered protocol message"
+        )
+    return encoded
+
+
+def decode_message(data: Dict[str, Any]) -> Any:
+    return decode_value(data)

@@ -1,0 +1,139 @@
+"""Wire protocol for the asyncio FLStore deployment: length-prefixed JSON.
+
+Frames are ``4-byte big-endian length || UTF-8 JSON body``.  Every message
+is a JSON object with a ``"type"`` discriminator.  Records must have
+JSON-serialisable bodies/tags (the in-process runtimes have no such
+restriction; this constraint applies only to TCP deployments).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from asyncio import IncompleteReadError, StreamReader, StreamWriter
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.errors import NetworkProtocolError
+from ..core.record import AppendResult, LogEntry, ReadRules, Record, RecordId
+
+_LENGTH = struct.Struct(">I")
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+# --------------------------------------------------------------------- #
+# Record (de)serialisation
+# --------------------------------------------------------------------- #
+
+
+def record_to_dict(record: Record) -> Dict[str, Any]:
+    return {
+        "host": record.host,
+        "toid": record.toid,
+        "body": record.body,
+        "tags": [[k, v] for k, v in record.tags],
+        "deps": [[dc, t] for dc, t in record.deps],
+        "internal": record.internal,
+    }
+
+
+def record_from_dict(data: Dict[str, Any]) -> Record:
+    return Record(
+        rid=RecordId(data["host"], data["toid"]),
+        body=data["body"],
+        tags=tuple((k, v) for k, v in data.get("tags", [])),
+        deps=tuple((dc, t) for dc, t in data.get("deps", [])),
+        internal=bool(data.get("internal", False)),
+    )
+
+
+def entry_to_dict(entry: LogEntry) -> Dict[str, Any]:
+    return {"lid": entry.lid, "record": record_to_dict(entry.record)}
+
+
+def entry_from_dict(data: Dict[str, Any]) -> LogEntry:
+    return LogEntry(data["lid"], record_from_dict(data["record"]))
+
+
+def result_to_dict(result: AppendResult) -> Dict[str, Any]:
+    return {"host": result.rid.host, "toid": result.rid.toid, "lid": result.lid}
+
+
+def result_from_dict(data: Dict[str, Any]) -> AppendResult:
+    return AppendResult(RecordId(data["host"], data["toid"]), data["lid"])
+
+
+def rules_to_dict(rules: ReadRules) -> Dict[str, Any]:
+    return {
+        "min_lid": rules.min_lid,
+        "max_lid": rules.max_lid,
+        "host": rules.host,
+        "min_toid": rules.min_toid,
+        "max_toid": rules.max_toid,
+        "tag_key": rules.tag_key,
+        "tag_value": rules.tag_value,
+        "tag_min_value": rules.tag_min_value,
+        "limit": rules.limit,
+        "most_recent": rules.most_recent,
+        "include_internal": rules.include_internal,
+    }
+
+
+def rules_from_dict(data: Dict[str, Any]) -> ReadRules:
+    return ReadRules(
+        min_lid=data.get("min_lid"),
+        max_lid=data.get("max_lid"),
+        host=data.get("host"),
+        min_toid=data.get("min_toid"),
+        max_toid=data.get("max_toid"),
+        tag_key=data.get("tag_key"),
+        tag_value=data.get("tag_value"),
+        tag_min_value=data.get("tag_min_value"),
+        limit=data.get("limit"),
+        most_recent=data.get("most_recent", True),
+        include_internal=data.get("include_internal", False),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Framing
+# --------------------------------------------------------------------- #
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise NetworkProtocolError(f"frame too large: {len(body)} bytes")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise NetworkProtocolError(f"malformed frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise NetworkProtocolError("frame is not a typed message object")
+    return message
+
+
+async def read_frame(reader: StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one frame; returns ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise NetworkProtocolError("truncated frame header") from exc
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise NetworkProtocolError(f"declared frame length {length} too large")
+    try:
+        body = await reader.readexactly(length)
+    except IncompleteReadError as exc:
+        raise NetworkProtocolError("truncated frame body") from exc
+    return decode_body(body)
+
+
+async def write_frame(writer: StreamWriter, message: Dict[str, Any]) -> None:
+    writer.write(encode_frame(message))
+    await writer.drain()

@@ -1,0 +1,34 @@
+"""Actor runtimes: event loop, actor base class, deterministic local runtime."""
+
+from .actor import Actor
+from .local import (
+    BaseRuntime,
+    LocalRuntime,
+    partitioned,
+    random_drops,
+    random_latency,
+)
+from .loop import EventHandle, EventLoop
+from .messages import (
+    CONTROL_MESSAGE_BYTES,
+    Payload,
+    RecordBatch,
+    record_count_of,
+    wire_size_of,
+)
+
+__all__ = [
+    "Actor",
+    "BaseRuntime",
+    "CONTROL_MESSAGE_BYTES",
+    "EventHandle",
+    "EventLoop",
+    "LocalRuntime",
+    "Payload",
+    "RecordBatch",
+    "partitioned",
+    "random_drops",
+    "random_latency",
+    "record_count_of",
+    "wire_size_of",
+]

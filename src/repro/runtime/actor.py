@@ -1,0 +1,106 @@
+"""Actor abstraction: every protocol component is an actor.
+
+Actors interact with the world only through ``send``, timers, and the
+messages delivered to :meth:`Actor.on_message`.  This is what lets the same
+maintainer/batcher/filter/queue code run unchanged under the deterministic
+local runtime, the discrete-event capacity simulator, and (via a thin shim)
+the asyncio TCP runtime.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from ..core.errors import ConfigurationError, SessionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .local import BaseRuntime
+    from .loop import EventHandle
+
+
+class Actor(ABC):
+    """Base class for protocol components.
+
+    Subclasses implement :meth:`on_message` and may override
+    :meth:`on_start` (called once when the runtime starts) and
+    :meth:`service_cost` (consulted by the capacity simulator).
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ConfigurationError("actors need a non-empty name")
+        self.name = name
+        self.runtime: Optional["BaseRuntime"] = None
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def on_start(self) -> None:
+        """Hook invoked when the runtime starts (set up periodic timers here)."""
+
+    def on_message(self, sender: str, message: Any) -> None:
+        """Handle one delivered message."""
+        raise NotImplementedError
+
+    # -- conveniences ---------------------------------------------------- #
+
+    @property
+    def now(self) -> float:
+        return self._require_runtime().now
+
+    def send(self, dst: str, message: Any) -> None:
+        """Send ``message`` to the actor registered under ``dst``."""
+        self._require_runtime().send(self.name, dst, message)
+
+    def set_timer(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        periodic: bool = False,
+    ) -> "EventHandle":
+        """Schedule ``callback`` after ``delay`` seconds (optionally repeating).
+
+        Periodic timers re-arm themselves after each firing until cancelled.
+        """
+        runtime = self._require_runtime()
+        if not periodic:
+            return runtime.loop.schedule(delay, callback)
+
+        state = {"handle": None, "cancelled": False}
+
+        def fire() -> None:
+            if state["cancelled"]:
+                return
+            callback()
+            if not state["cancelled"]:
+                state["handle"] = runtime.loop.schedule(delay, fire)
+
+        state["handle"] = runtime.loop.schedule(delay, fire)
+
+        class _PeriodicHandle:
+            @staticmethod
+            def cancel() -> None:
+                state["cancelled"] = True
+                inner = state["handle"]
+                if inner is not None:
+                    inner.cancel()
+
+        return _PeriodicHandle()  # type: ignore[return-value]
+
+    def service_cost(self, message: Any) -> Optional[float]:
+        """CPU seconds to process ``message`` under the capacity simulator.
+
+        Return ``None`` (the default) to let the simulator derive the cost
+        from the message's record count and the machine profile.
+        """
+        return None
+
+    def _require_runtime(self) -> "BaseRuntime":
+        if self.runtime is None:
+            raise SessionError(
+                f"actor {self.name!r} is not registered with a runtime"
+            )
+        return self.runtime
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

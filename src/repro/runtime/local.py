@@ -1,0 +1,182 @@
+"""Deterministic in-process runtime: instant (or hook-delayed) delivery.
+
+This is the substrate for functional tests, applications, and examples.  It
+delivers messages in a deterministic order, supports fault injection through
+``latency_fn`` / ``drop_fn`` hooks (used by the property-based tests to
+produce adversarial delivery schedules), and exposes ``run_until`` so
+synchronous client code can pump the network until a reply arrives.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from .actor import Actor
+from .loop import EventLoop
+
+#: latency hook signature: (src, dst, message) -> seconds of delivery delay.
+LatencyFn = Callable[[str, str, Any], float]
+#: drop hook signature: (src, dst, message) -> True to drop the message.
+DropFn = Callable[[str, str, Any], bool]
+
+
+class BaseRuntime:
+    """Shared actor registry and loop plumbing for all runtimes."""
+
+    def __init__(self) -> None:
+        self.loop = EventLoop()
+        self._actors: Dict[str, Actor] = {}
+        self._started = False
+
+    # -- registry -------------------------------------------------------- #
+
+    def register(self, actor: Actor) -> Actor:
+        """Add an actor; its ``name`` becomes its address."""
+        if actor.name in self._actors:
+            raise ConfigurationError(f"actor name {actor.name!r} already registered")
+        actor.runtime = self
+        self._actors[actor.name] = actor
+        if self._started:
+            actor.on_start()
+        return actor
+
+    def register_all(self, actors: Iterable[Actor]) -> List[Actor]:
+        return [self.register(actor) for actor in actors]
+
+    def replace(self, actor: Actor) -> Actor:
+        """Swap the actor registered under ``actor.name`` for this one.
+
+        Failure-injection primitive: models a crashed process restarting
+        under the same address (e.g. a log maintainer recovered from its
+        journal).  Messages already scheduled for the old actor are
+        delivered to the replacement — exactly what a network gives a
+        restarted node.
+        """
+        if actor.name not in self._actors:
+            raise ConfigurationError(f"no actor {actor.name!r} to replace")
+        actor.runtime = self
+        self._actors[actor.name] = actor
+        if self._started:
+            actor.on_start()
+        return actor
+
+    def actor(self, name: str) -> Actor:
+        return self._actors[name]
+
+    def has_actor(self, name: str) -> bool:
+        return name in self._actors
+
+    def actors(self) -> List[Actor]:
+        return list(self._actors.values())
+
+    @property
+    def now(self) -> float:
+        return self.loop.now
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    def start(self) -> "BaseRuntime":
+        """Invoke every actor's ``on_start`` hook exactly once."""
+        if not self._started:
+            self._started = True
+            for actor in list(self._actors.values()):
+                actor.on_start()
+        return self
+
+    def send(self, src: str, dst: str, message: Any) -> None:
+        raise NotImplementedError
+
+    # -- execution ------------------------------------------------------- #
+
+    def run(
+        self,
+        until_time: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Start (if needed) and drain the event loop."""
+        self.start()
+        return self.loop.run(until_time=until_time, max_events=max_events)
+
+    def run_until(self, predicate: Callable[[], bool], max_events: int = 1_000_000) -> float:
+        self.start()
+        return self.loop.run_until(predicate, max_events=max_events)
+
+    def run_for(self, duration: float) -> float:
+        """Advance simulated time by ``duration`` seconds."""
+        self.start()
+        return self.loop.run(until_time=self.loop.now + duration)
+
+
+class LocalRuntime(BaseRuntime):
+    """Instant-delivery deterministic runtime with fault-injection hooks."""
+
+    def __init__(
+        self,
+        latency_fn: Optional[LatencyFn] = None,
+        drop_fn: Optional[DropFn] = None,
+    ) -> None:
+        super().__init__()
+        self.latency_fn = latency_fn
+        self.drop_fn = drop_fn
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    def send(self, src: str, dst: str, message: Any) -> None:
+        self.messages_sent += 1
+        if self.drop_fn is not None and self.drop_fn(src, dst, message):
+            self.messages_dropped += 1
+            return
+        delay = self.latency_fn(src, dst, message) if self.latency_fn else 0.0
+        if dst not in self._actors:
+            raise ConfigurationError(f"message from {src!r} to unknown actor {dst!r}")
+        # Resolve the target at delivery time so a replaced actor (crash
+        # recovery) receives messages that were already in flight.
+        self.loop.schedule(delay, lambda: self._actors[dst].on_message(src, message))
+
+
+def random_latency(seed: int, max_delay: float = 0.05) -> LatencyFn:
+    """A reproducible random-latency hook for adversarial delivery tests."""
+    rng = random.Random(seed)
+
+    def fn(_src: str, _dst: str, _message: Any) -> float:
+        return rng.uniform(0.0, max_delay)
+
+    return fn
+
+
+def random_drops(
+    seed: int,
+    probability: float,
+    protected: Optional[Callable[[str, str, Any], bool]] = None,
+) -> DropFn:
+    """A reproducible random-drop hook.
+
+    ``protected(src, dst, msg)`` may exempt messages (e.g. never drop client
+    replies so tests terminate); replication traffic is retried by design so
+    it tolerates drops.
+    """
+    rng = random.Random(seed)
+
+    def fn(src: str, dst: str, message: Any) -> bool:
+        if protected is not None and protected(src, dst, message):
+            return False
+        return rng.random() < probability
+
+    return fn
+
+
+def partitioned(blocked_pairs: Iterable[Tuple[str, str]]) -> DropFn:
+    """A drop hook that severs specific (src-prefix, dst-prefix) pairs.
+
+    Useful for datacenter-partition tests: ``partitioned([("A/", "B/")])``
+    blocks every message from actors whose name starts with ``A/`` to actors
+    whose name starts with ``B/``.
+    """
+    pairs = list(blocked_pairs)
+
+    def fn(src: str, dst: str, _message: Any) -> bool:
+        return any(src.startswith(s) and dst.startswith(d) for s, d in pairs)
+
+    return fn

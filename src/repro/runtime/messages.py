@@ -1,0 +1,61 @@
+"""Base message type and sizing protocol for runtime payloads.
+
+The capacity simulator needs two facts about every message: how many records
+it carries (to charge CPU service time) and how many bytes it occupies on
+the wire (to charge NIC transmission time).  Protocol messages either derive
+from :class:`Payload` or duck-type ``record_count()`` / ``wire_size()``.
+Messages that implement neither are treated as small control messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+from ..core.record import Record
+
+#: Wire size assumed for control messages with no payload protocol.
+CONTROL_MESSAGE_BYTES = 64
+
+
+@dataclass
+class Payload:
+    """Base class for protocol messages that carry records."""
+
+    def record_count(self) -> int:
+        records = getattr(self, "records", None)
+        if records is not None:
+            return len(records)
+        return 0
+
+    def wire_size(self, record_size: int = 512) -> int:
+        records: Sequence[Record] = getattr(self, "records", ()) or ()
+        return CONTROL_MESSAGE_BYTES + sum(
+            record.size_bytes(record_size) for record in records
+        )
+
+
+def record_count_of(message: Any) -> int:
+    """Record count of an arbitrary message (0 for control messages)."""
+    counter = getattr(message, "record_count", None)
+    if callable(counter):
+        return counter()
+    return 0
+
+
+def wire_size_of(message: Any, record_size: int = 512) -> int:
+    """Wire size of an arbitrary message in bytes."""
+    sizer = getattr(message, "wire_size", None)
+    if callable(sizer):
+        return sizer(record_size)
+    return CONTROL_MESSAGE_BYTES
+
+
+@dataclass
+class RecordBatch(Payload):
+    """A generic batch of records moving between pipeline stages."""
+
+    records: List[Record] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,14 @@
+"""Discrete-event cluster simulator: machines, NICs, metrics, workloads."""
+
+from .kernel import SimRuntime
+from .machine import Machine
+from .metrics import MetricsRegistry
+from .workload import LoadClient, SinkActor
+
+__all__ = [
+    "LoadClient",
+    "Machine",
+    "MetricsRegistry",
+    "SimRuntime",
+    "SinkActor",
+]

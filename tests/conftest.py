@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.chariots import ChariotsDeployment
+from repro.core import DeploymentSpec, Record
+from repro.runtime import LocalRuntime
+
+
+@pytest.fixture
+def runtime() -> LocalRuntime:
+    return LocalRuntime()
+
+
+@pytest.fixture
+def two_dc_deployment(runtime: LocalRuntime) -> ChariotsDeployment:
+    """A small two-datacenter Chariots deployment on the local runtime."""
+    return ChariotsDeployment(runtime, ["A", "B"], batch_size=8)
+
+
+@pytest.fixture
+def three_dc_deployment(runtime: LocalRuntime) -> ChariotsDeployment:
+    return ChariotsDeployment(
+        runtime,
+        ["A", "B", "C"],
+        spec=DeploymentSpec(batchers=2, filters=2, queues=2, maintainers=2),
+        batch_size=5,
+    )
+
+
+def rec(host: str, toid: int, body=None, deps: Optional[Dict[str, int]] = None, tags=None) -> Record:
+    """Shorthand record constructor for tests."""
+    return Record.make(host, toid, body if body is not None else f"{host}:{toid}", tags=tags, deps=deps)
+
+
+def chain(host: str, n: int, start: int = 1) -> List[Record]:
+    """n records from one host in total order."""
+    return [rec(host, t) for t in range(start, start + n)]

@@ -1,0 +1,209 @@
+"""The full Chariots pipeline over real TCP sockets (repro.net.aio_runtime)."""
+
+import asyncio
+
+import pytest
+
+from repro.chariots import ChariotsDeployment
+from repro.core import ReadRules, causal_order_respected
+from repro.core.errors import ConfigurationError
+from repro.net.aio_runtime import AioRuntime
+from repro.net.codec import decode_message, encode_message
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCodecCoverage:
+    def test_every_pipeline_message_round_trips(self):
+        """Encode/decode symmetry for one instance of each message class."""
+        from repro.baseline.sequencer import ReservedRange, SequencerRequest
+        from repro.chariots import messages as cmsg
+        from repro.core import Record
+        from repro.core.record import LogEntry
+        from repro.flstore import messages as fmsg
+
+        record = Record.make("A", 1, {"k": [1, (2, 3)]}, tags={"t": 1}, deps={"B": 2})
+        entry = LogEntry(4, record)
+        samples = [
+            fmsg.AppendRequest(1, [record], min_lid=3, want_results=False),
+            fmsg.AppendReply(1, [], count=5, error=None),
+            fmsg.PlaceRecords([(0, record)]),
+            fmsg.ReadRequest(2, lid=1),
+            fmsg.ReadRequest(3, rules=ReadRules(tag_key="t", limit=2)),
+            fmsg.ReadReply(2, [entry]),
+            fmsg.ReadNewRequest(4, after_lid=7, limit=10),
+            fmsg.ReadNewReply(4, [entry], upto=4),
+            fmsg.GossipHL("m0", 12),
+            fmsg.HeadRequest(5),
+            fmsg.HeadReply(5, 11),
+            fmsg.IndexUpdate([("k", 1, 0)]),
+            fmsg.LookupRequest(6, "k", tag_value=1, limit=3),
+            fmsg.LookupReply(6, [0, 2]),
+            fmsg.SessionRequest(7),
+            fmsg.SessionInfo(7, ["m0"], ["ix"], 10, 3, [(0, 10, ("m0",))], "m0"),
+            fmsg.LoadReport("m0", 100, 2.5),
+            fmsg.TruncateBelow({"A": 3}, keep_from_lid=9),
+            fmsg.PruneIndexBelow(4),
+            fmsg.GcReport("m0", 5),
+            cmsg.DraftRecord("c", 1, "body", tags=(("t", 1),), deps=(("B", 2),)),
+            cmsg.DraftBatch([cmsg.DraftRecord("c", 1, None)]),
+            cmsg.FilterBatch(drafts=[cmsg.DraftRecord("c", 1, 1)], externals=[record]),
+            cmsg.AdmittedBatch(externals=[record]),
+            cmsg.TokenPass(cmsg.Token({"A": 1}, 2, [record])),
+            cmsg.DraftCommitted("c", 1, record.rid, 0),
+            cmsg.DraftCommitBatch([cmsg.DraftCommitted("c", 1, record.rid, 0)]),
+            cmsg.FrontierUpdate({"A": 1}, 2),
+            cmsg.ReplicationShipment("A", "s", "m", 1, [record], {"A": 1}, 0,
+                                     atable={"A": {"A": 1}}),
+            cmsg.ShipmentAck("m", 1, 0, "B"),
+            cmsg.PeerVector("B", {"A": 1}, matrix={"B": {"A": 1}}),
+            cmsg.AtableSnapshot({"A": {"A": 1}}),
+            SequencerRequest(1, 4),
+            ReservedRange(1, 0, 4),
+        ]
+        for message in samples:
+            assert decode_message(encode_message(message)) == message, message
+
+
+class TestPipelineOverSockets:
+    def test_two_datacenters_converge_over_tcp(self):
+        async def scenario():
+            runtime = AioRuntime()
+            deployment = ChariotsDeployment(runtime, ["A", "B"], batch_size=8)
+            await runtime.start()
+            try:
+                ca = deployment.client("A")
+                cb = deployment.client("B")
+                acks = []
+                for i in range(3):
+                    ca.append(f"a{i}", on_done=acks.append)
+                    cb.append(f"b{i}", on_done=acks.append)
+                ok = await runtime.settle(
+                    lambda: len(acks) == 6 and deployment.converged(),
+                    max_seconds=15,
+                )
+                assert ok
+                for dc in "AB":
+                    records = [e.record for e in deployment[dc].all_entries()]
+                    assert len(records) == 6
+                    assert causal_order_respected(records)
+                assert runtime.messages_routed > 20  # real frames crossed TCP
+            finally:
+                await runtime.stop()
+
+        run(scenario())
+
+    def test_reads_and_tag_lookups_over_tcp(self):
+        async def scenario():
+            runtime = AioRuntime()
+            deployment = ChariotsDeployment(runtime, ["A"], batch_size=8)
+            await runtime.start()
+            try:
+                client = deployment.client("A")
+                acks = []
+                for i in range(4):
+                    client.append(f"v{i}", tags={"p": i % 2}, on_done=acks.append)
+                assert await runtime.settle(lambda: len(acks) == 4, max_seconds=10)
+                await runtime.run_for(0.1)  # postings flush to indexers
+
+                replies = []
+                client.read_rules(
+                    ReadRules(tag_key="p", tag_value=1, limit=2), replies.append
+                )
+                assert await runtime.settle(lambda: bool(replies), max_seconds=10)
+                entries = replies[0]
+                assert len(entries) == 2
+                assert all(e.record.tag_dict()["p"] == 1 for e in entries)
+            finally:
+                await runtime.stop()
+
+        run(scenario())
+
+    def test_send_requires_started_runtime(self):
+        runtime = AioRuntime()
+
+        class Dummy:
+            name = "x"
+
+        runtime._actors["x"] = Dummy()  # bypass registration for the check
+        with pytest.raises(ConfigurationError):
+            runtime.send("a", "x", "msg")
+
+    def test_send_to_unknown_actor_rejected(self):
+        async def scenario():
+            runtime = AioRuntime()
+            await runtime.start()
+            try:
+                with pytest.raises(ConfigurationError):
+                    runtime.send("a", "ghost", "msg")
+            finally:
+                await runtime.stop()
+
+        run(scenario())
+
+    def test_real_time_timers_fire(self):
+        async def scenario():
+            from repro.runtime import Actor
+
+            ticks = []
+
+            class Ticker(Actor):
+                def on_start(self):
+                    self.set_timer(0.01, lambda: ticks.append(self.now), periodic=True)
+
+                def on_message(self, sender, message):
+                    pass
+
+            runtime = AioRuntime()
+            runtime.register(Ticker("tick"))
+            await runtime.start()
+            try:
+                await runtime.run_for(0.08)
+                assert len(ticks) >= 3
+            finally:
+                await runtime.stop()
+
+        run(scenario())
+
+
+class TestCodecErrors:
+    def test_unencodable_value_rejected(self):
+        from repro.core.errors import NetworkProtocolError
+        from repro.net.codec import encode_value
+
+        class Opaque:
+            pass
+
+        with pytest.raises(NetworkProtocolError):
+            encode_value(Opaque())
+
+    def test_unknown_tag_rejected(self):
+        from repro.core.errors import NetworkProtocolError
+        from repro.net.codec import decode_value
+
+        with pytest.raises(NetworkProtocolError):
+            decode_value({"$": "NoSuchType", "v": {}})
+
+    def test_unregistered_top_level_message_rejected(self):
+        from repro.core.errors import NetworkProtocolError
+        from repro.net.codec import encode_message
+
+        with pytest.raises(NetworkProtocolError):
+            encode_message("a bare string is not a protocol message")
+
+    def test_bytes_round_trip(self):
+        from repro.net.codec import decode_value, encode_value
+
+        blob = bytes(range(256))
+        assert decode_value(encode_value(blob)) == blob
+
+    def test_nested_container_types_preserved(self):
+        from repro.net.codec import decode_value, encode_value
+
+        value = {"a": (1, [2, {"b": b"\x00"}]), 3: "int-key"}
+        restored = decode_value(encode_value(value))
+        assert restored == value
+        assert isinstance(restored["a"], tuple)
+        assert isinstance(restored["a"][1], list)

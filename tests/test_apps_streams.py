@@ -1,0 +1,229 @@
+"""Tests for multi-datacenter event processing (§4.2)."""
+
+import pytest
+
+from repro.apps import EventPublisher, StreamJoiner, StreamProcessor, StreamReader
+from repro.chariots import ChariotsDeployment
+from repro.runtime import LocalRuntime
+
+
+@pytest.fixture
+def streams():
+    runtime = LocalRuntime()
+    deployment = ChariotsDeployment(runtime, ["A", "B"], batch_size=8)
+    ca = deployment.blocking_client("A")
+    cb = deployment.blocking_client("B")
+    return runtime, deployment, ca, cb
+
+
+class TestPublishAndRead:
+    def test_publish_and_poll(self, streams):
+        runtime, deployment, ca, cb = streams
+        publisher = EventPublisher(ca)
+        for i in range(5):
+            publisher.publish("clicks", {"id": i})
+        runtime.run_for(0.2)
+        reader = StreamReader(ca, "clicks")
+        events = reader.poll()
+        assert [e.payload["id"] for e in events] == [0, 1, 2, 3, 4]
+
+    def test_exactly_once_delivery(self, streams):
+        runtime, deployment, ca, cb = streams
+        publisher = EventPublisher(ca)
+        publisher.publish("s", 1)
+        runtime.run_for(0.2)
+        reader = StreamReader(ca, "s")
+        assert len(reader.poll()) == 1
+        assert reader.poll() == []  # second poll delivers nothing
+        publisher.publish("s", 2)
+        runtime.run_for(0.2)
+        assert [e.payload for e in reader.poll()] == [2]
+
+    def test_streams_are_isolated(self, streams):
+        runtime, deployment, ca, cb = streams
+        publisher = EventPublisher(ca)
+        publisher.publish("left", "l")
+        publisher.publish("right", "r")
+        runtime.run_for(0.2)
+        assert [e.payload for e in StreamReader(ca, "left").poll()] == ["l"]
+
+    def test_checkpoint_resume(self, streams):
+        runtime, deployment, ca, cb = streams
+        publisher = EventPublisher(ca)
+        for i in range(4):
+            publisher.publish("s", i)
+        runtime.run_for(0.2)
+        reader = StreamReader(ca, "s")
+        reader.poll(limit=2)
+        cursor = reader.checkpoint()
+        # Simulated crash: a new reader resumes from the checkpoint.
+        resumed = StreamReader(ca, "s", start_after_lid=cursor)
+        assert [e.payload for e in resumed.poll()] == [2, 3]
+
+    def test_cross_datacenter_consumption(self, streams):
+        runtime, deployment, ca, cb = streams
+        EventPublisher(ca).publish("geo", "from-A")
+        assert deployment.settle(max_seconds=10)
+        reader_at_b = StreamReader(cb, "geo")
+        events = reader_at_b.poll()
+        assert [e.payload for e in events] == ["from-A"]
+        assert events[0].host == "A"
+
+    def test_event_identity_globally_unique(self, streams):
+        runtime, deployment, ca, cb = streams
+        EventPublisher(ca).publish("s", 1)
+        EventPublisher(cb).publish("s", 2)
+        assert deployment.settle(max_seconds=10)
+        events = StreamReader(ca, "s").poll()
+        identities = {e.identity for e in events}
+        assert len(identities) == 2
+
+
+class TestStreamProcessor:
+    def test_handlers_invoked_per_event(self, streams):
+        runtime, deployment, ca, cb = streams
+        seen = []
+        processor = StreamProcessor(ca)
+        processor.subscribe("s", lambda e: seen.append(e.payload))
+        EventPublisher(ca).publish("s", "one")
+        runtime.run_for(0.2)
+        assert processor.step() == 1
+        assert seen == ["one"]
+        assert processor.step() == 0  # exactly once
+
+    def test_multiple_subscriptions(self, streams):
+        runtime, deployment, ca, cb = streams
+        counts = {"a": 0, "b": 0}
+        processor = StreamProcessor(ca)
+        processor.subscribe("a", lambda e: counts.__setitem__("a", counts["a"] + 1))
+        processor.subscribe("b", lambda e: counts.__setitem__("b", counts["b"] + 1))
+        publisher = EventPublisher(ca)
+        publisher.publish("a", 1)
+        publisher.publish("a", 2)
+        publisher.publish("b", 3)
+        runtime.run_for(0.2)
+        processor.step()
+        assert counts == {"a": 2, "b": 1}
+
+
+class TestPhotonStyleJoin:
+    def test_join_across_datacenters(self, streams):
+        """§4.2 / Photon: join click and query streams produced at
+        different datacenters, exactly once."""
+        runtime, deployment, ca, cb = streams
+        clicks = EventPublisher(ca)
+        queries = EventPublisher(cb)
+        clicks.publish("clicks", {"qid": 1, "url": "u1"})
+        queries.publish("queries", {"qid": 1, "text": "t1"})
+        queries.publish("queries", {"qid": 2, "text": "t2"})
+        assert deployment.settle(max_seconds=10)
+        joiner = StreamJoiner(ca, "clicks", "queries", key_fn=lambda p: p["qid"])
+        pairs = joiner.step()
+        assert len(pairs) == 1
+        left, right = pairs[0]
+        assert left.payload["url"] == "u1"
+        assert right.payload["text"] == "t1"
+
+    def test_join_is_exactly_once(self, streams):
+        runtime, deployment, ca, cb = streams
+        clicks = EventPublisher(ca)
+        clicks.publish("l", {"k": 1})
+        clicks.publish("r", {"k": 1})
+        runtime.run_for(0.2)
+        joiner = StreamJoiner(ca, "l", "r", key_fn=lambda p: p["k"])
+        assert len(joiner.step()) == 1
+        assert joiner.step() == []
+
+    def test_late_partner_joins_on_arrival(self, streams):
+        runtime, deployment, ca, cb = streams
+        publisher = EventPublisher(ca)
+        publisher.publish("l", {"k": 9})
+        runtime.run_for(0.2)
+        joiner = StreamJoiner(ca, "l", "r", key_fn=lambda p: p["k"])
+        assert joiner.step() == []
+        publisher.publish("r", {"k": 9})
+        runtime.run_for(0.2)
+        assert len(joiner.step()) == 1
+
+    def test_window_bounds_buffer(self, streams):
+        runtime, deployment, ca, cb = streams
+        publisher = EventPublisher(ca)
+        for i in range(6):
+            publisher.publish("l", {"k": i})
+        runtime.run_for(0.2)
+        joiner = StreamJoiner(ca, "l", "r", key_fn=lambda p: p["k"], window=2)
+        joiner.step()
+        assert joiner.buffered() <= 3
+
+
+class TestWindowedAggregation:
+    def test_windows_close_as_the_head_passes(self, streams):
+        from repro.apps import WindowedAggregator
+
+        runtime, deployment, ca, cb = streams
+        publisher = EventPublisher(ca)
+        aggregator = WindowedAggregator(ca, "s", window_lids=4, aggregate=len)
+        for i in range(10):
+            publisher.publish("s", i)
+        runtime.run_for(0.2)
+        windows = aggregator.step()
+        # Head at 9 closes windows [0,3] and [4,7]; [8,9] stays open.
+        assert windows == [(0, 4), (1, 4)]
+
+    def test_windows_are_emitted_exactly_once(self, streams):
+        from repro.apps import WindowedAggregator
+
+        runtime, deployment, ca, cb = streams
+        publisher = EventPublisher(ca)
+        aggregator = WindowedAggregator(ca, "s", window_lids=2, aggregate=len)
+        for i in range(4):
+            publisher.publish("s", i)
+        runtime.run_for(0.2)
+        first = aggregator.step()
+        second = aggregator.step()
+        assert len(first) == 2
+        assert second == []
+
+    def test_empty_windows_are_emitted(self, streams):
+        from repro.apps import WindowedAggregator
+
+        runtime, deployment, ca, cb = streams
+        publisher = EventPublisher(ca)
+        # Other traffic moves the head without touching stream "quiet".
+        aggregator = WindowedAggregator(ca, "quiet", window_lids=2, aggregate=len)
+        for i in range(4):
+            publisher.publish("busy", i)
+        runtime.run_for(0.2)
+        windows = aggregator.step()
+        assert windows == [(0, 0), (1, 0)]
+
+    def test_custom_aggregate_function(self, streams):
+        from repro.apps import WindowedAggregator
+
+        runtime, deployment, ca, cb = streams
+        publisher = EventPublisher(ca)
+        aggregator = WindowedAggregator(
+            ca, "n", window_lids=3,
+            aggregate=lambda events: sum(e.payload for e in events),
+        )
+        for value in (1, 2, 3):
+            publisher.publish("n", value)
+        runtime.run_for(0.2)
+        assert aggregator.step() == [(0, 6)]
+
+    def test_same_windows_at_every_datacenter(self, streams):
+        """Windows are functions of log positions; after convergence the
+        same aggregation runs identically at each datacenter's own log...
+        per-DC logs may order concurrent events differently, so windows are
+        per-replica deterministic (reproducible), not globally identical —
+        this asserts reproducibility at one DC."""
+        from repro.apps import WindowedAggregator
+
+        runtime, deployment, ca, cb = streams
+        publisher = EventPublisher(ca)
+        for i in range(6):
+            publisher.publish("s", i)
+        assert deployment.settle(max_seconds=10)
+        first = WindowedAggregator(ca, "s", window_lids=3, aggregate=len).step()
+        again = WindowedAggregator(ca, "s", window_lids=3, aggregate=len).step()
+        assert first == again == [(0, 3), (1, 3)]

@@ -1,0 +1,167 @@
+"""Unit tests for the log storage primitive (repro.core.log)."""
+
+import pytest
+
+from repro.core import (
+    GapError,
+    GarbageCollectedError,
+    ImmutabilityError,
+    LidOutOfRangeError,
+    LogStore,
+    ReadRules,
+)
+
+from conftest import rec
+
+
+@pytest.fixture
+def store() -> LogStore:
+    return LogStore()
+
+
+class TestPutGet:
+    def test_put_then_get(self, store):
+        store.put(0, rec("A", 1))
+        assert store.get(0).record.toid == 1
+
+    def test_write_once(self, store):
+        store.put(0, rec("A", 1))
+        with pytest.raises(ImmutabilityError):
+            store.put(0, rec("A", 2))
+
+    def test_idempotent_same_record(self, store):
+        record = rec("A", 1)
+        store.put(0, record)
+        entry = store.put(0, record)  # retried placement
+        assert entry.record is record
+        assert len(store) == 1
+
+    def test_gap_read_raises(self, store):
+        store.put(0, rec("A", 1))
+        store.put(2, rec("A", 2))
+        with pytest.raises(GapError):
+            store.get(1)
+
+    def test_read_past_end_raises(self, store):
+        store.put(0, rec("A", 1))
+        with pytest.raises(LidOutOfRangeError):
+            store.get(5)
+
+    def test_try_get_returns_none_for_missing(self, store):
+        assert store.try_get(3) is None
+
+    def test_lid_of_and_has_record(self, store):
+        record = rec("A", 1)
+        store.put(7, record)
+        assert store.has_record(record.rid)
+        assert store.lid_of(record.rid) == 7
+
+
+class TestContiguity:
+    def test_contiguous_tracking(self, store):
+        store.put(0, rec("A", 1))
+        store.put(2, rec("A", 3))
+        assert store.contiguous_upto == 0
+        store.put(1, rec("A", 2))
+        assert store.contiguous_upto == 2
+
+    def test_empty_store_state(self, store):
+        assert store.max_lid == -1
+        assert store.contiguous_upto == -1
+        assert len(store) == 0
+
+    def test_gaps_listing(self, store):
+        store.put(0, rec("A", 1))
+        store.put(3, rec("A", 2))
+        assert store.gaps() == [1, 2]
+
+    def test_scan_raises_on_gap(self, store):
+        store.put(0, rec("A", 1))
+        store.put(2, rec("A", 2))
+        with pytest.raises(GapError):
+            store.scan(0, 2)
+
+    def test_scan_dense_prefix(self, store):
+        for i in range(3):
+            store.put(i, rec("A", i + 1))
+        assert [e.lid for e in store.scan(0, 2)] == [0, 1, 2]
+
+
+class TestReads:
+    def test_rules_most_recent_with_limit(self, store):
+        for i in range(10):
+            store.put(i, rec("A", i + 1, tags={"k": i % 2}))
+        entries = store.read(ReadRules(tag_key="k", tag_value=0, limit=2))
+        assert [e.lid for e in entries] == [8, 6]
+
+    def test_rules_oldest_first(self, store):
+        for i in range(4):
+            store.put(i, rec("A", i + 1))
+        entries = store.read(ReadRules(most_recent=False, limit=2))
+        assert [e.lid for e in entries] == [0, 1]
+
+    def test_read_skips_gaps(self, store):
+        store.put(0, rec("A", 1))
+        store.put(2, rec("A", 2))
+        entries = store.read(ReadRules())
+        assert [e.lid for e in entries] == [2, 0]
+
+    def test_entries_in_lid_order(self, store):
+        store.put(5, rec("A", 2))
+        store.put(1, rec("A", 1))
+        assert [e.lid for e in store.entries()] == [1, 5]
+
+
+class TestTruncation:
+    def test_truncate_drops_prefix(self, store):
+        for i in range(5):
+            store.put(i, rec("A", i + 1))
+        assert store.truncate_below(3) == 3
+        assert store.truncated_below == 3
+        with pytest.raises(GarbageCollectedError):
+            store.get(0)
+        assert store.get(3).record.toid == 4
+
+    def test_truncate_does_not_cross_gaps(self, store):
+        store.put(0, rec("A", 1))
+        store.put(2, rec("A", 2))
+        assert store.truncate_below(3) == 1  # only lid 0 collectable
+        assert store.truncated_below == 1
+
+    def test_truncate_cleans_tag_index(self, store):
+        store.put(0, rec("A", 1, tags={"k": 1}))
+        store.put(1, rec("A", 2, tags={"k": 2}))
+        store.truncate_below(1)
+        entries = store.read(ReadRules(tag_key="k"))
+        assert [e.lid for e in entries] == [1]
+
+    def test_put_below_truncation_raises(self, store):
+        store.put(0, rec("A", 1))
+        store.truncate_below(1)
+        with pytest.raises(GarbageCollectedError):
+            store.put(0, rec("B", 1))
+
+    def test_truncate_is_idempotent(self, store):
+        store.put(0, rec("A", 1))
+        store.truncate_below(1)
+        assert store.truncate_below(1) == 0
+
+
+class TestJournal:
+    def test_journal_hook_sees_every_put(self):
+        seen = []
+        store = LogStore(journal=lambda lid, record: seen.append((lid, record.rid)))
+        store.put(0, rec("A", 1))
+        store.put(1, rec("A", 2))
+        assert len(seen) == 2
+        assert seen[0][0] == 0
+
+    def test_journal_replay_recovers_state(self):
+        journal = []
+        store = LogStore(journal=lambda lid, record: journal.append((lid, record)))
+        for i in range(5):
+            store.put(i, rec("A", i + 1))
+        recovered = LogStore()
+        for lid, record in journal:
+            recovered.put(lid, record)
+        assert [e.rid for e in recovered.entries()] == [e.rid for e in store.entries()]

@@ -1,0 +1,171 @@
+"""Unit tests for the record model (repro.core.record)."""
+
+import pytest
+
+from repro.core import (
+    AppendResult,
+    ConfigurationError,
+    LogEntry,
+    ReadRules,
+    Record,
+    RecordId,
+    freeze_tags,
+)
+
+from conftest import rec
+
+
+class TestRecordId:
+    def test_fields(self):
+        rid = RecordId("A", 3)
+        assert rid.host == "A"
+        assert rid.toid == 3
+
+    def test_toids_start_at_one(self):
+        with pytest.raises(ConfigurationError):
+            RecordId("A", 0)
+
+    def test_negative_toid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RecordId("A", -5)
+
+    def test_equality_and_hash(self):
+        assert RecordId("A", 1) == RecordId("A", 1)
+        assert RecordId("A", 1) != RecordId("B", 1)
+        assert len({RecordId("A", 1), RecordId("A", 1), RecordId("A", 2)}) == 2
+
+    def test_ordering_is_host_then_toid(self):
+        assert RecordId("A", 9) < RecordId("B", 1)
+        assert RecordId("A", 1) < RecordId("A", 2)
+
+    def test_predecessor(self):
+        assert RecordId("A", 2).predecessor() == RecordId("A", 1)
+
+    def test_first_record_has_no_predecessor(self):
+        assert RecordId("A", 1).predecessor() is None
+
+    def test_str_matches_paper_notation(self):
+        assert str(RecordId("A", 7)) == "<A,7>"
+
+
+class TestFreezeTags:
+    def test_none_becomes_empty(self):
+        assert freeze_tags(None) == ()
+
+    def test_empty_dict_becomes_empty(self):
+        assert freeze_tags({}) == ()
+
+    def test_sorted_stable(self):
+        assert freeze_tags({"b": 2, "a": 1}) == (("a", 1), ("b", 2))
+
+
+class TestRecord:
+    def test_make_basics(self):
+        record = Record.make("A", 1, "body", tags={"k": "v"})
+        assert record.host == "A"
+        assert record.toid == 1
+        assert record.body == "body"
+        assert record.tag_dict() == {"k": "v"}
+
+    def test_records_are_immutable(self):
+        record = rec("A", 1)
+        with pytest.raises(Exception):
+            record.body = "changed"  # frozen dataclass
+
+    def test_implicit_host_dependency(self):
+        record = rec("A", 3)
+        assert record.dep_vector() == {"A": 2}
+
+    def test_first_record_has_empty_implicit_dep(self):
+        record = rec("A", 1)
+        assert record.dep_vector() == {"A": 0}
+
+    def test_explicit_deps_merge_with_implicit(self):
+        record = rec("A", 3, deps={"B": 5})
+        assert record.dep_vector() == {"A": 2, "B": 5}
+
+    def test_explicit_self_dep_never_lowers_implicit(self):
+        record = Record.make("A", 5, None, deps={"A": 1})
+        assert record.dep_vector()["A"] == 4
+
+    def test_depends_on(self):
+        record = rec("A", 3, deps={"B": 5})
+        assert record.depends_on(RecordId("B", 5))
+        assert record.depends_on(RecordId("B", 1))
+        assert not record.depends_on(RecordId("B", 6))
+        assert record.depends_on(RecordId("A", 2))
+
+    def test_size_bytes_measures_bytes_body(self):
+        record = Record.make("A", 1, b"\x00" * 512)
+        assert record.size_bytes() == 512 + 24
+
+    def test_size_bytes_measures_str_body(self):
+        record = Record.make("A", 1, "abcd")
+        assert record.size_bytes() == 4 + 24
+
+    def test_size_bytes_default_for_opaque_body(self):
+        record = Record.make("A", 1, {"k": 1})
+        assert record.size_bytes(default_body_size=100) >= 100
+
+    def test_size_bytes_counts_tags_and_deps(self):
+        bare = Record.make("A", 1, b"")
+        tagged = Record.make("A", 1, b"", tags={"key": "value"}, deps={"B": 3})
+        assert tagged.size_bytes() > bare.size_bytes()
+
+
+class TestLogEntry:
+    def test_entry_exposes_rid(self):
+        entry = LogEntry(4, rec("A", 2))
+        assert entry.rid == RecordId("A", 2)
+        assert entry.lid == 4
+
+    def test_negative_lid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogEntry(-1, rec("A", 1))
+
+
+class TestAppendResult:
+    def test_toid_shortcut(self):
+        result = AppendResult(RecordId("A", 7), 42)
+        assert result.toid == 7
+        assert result.lid == 42
+
+
+class TestReadRules:
+    def entry(self, lid=5, host="A", toid=3, tags=None, internal=False):
+        record = Record.make(host, toid, "b", tags=tags, internal=internal)
+        return LogEntry(lid, record)
+
+    def test_empty_rules_match_everything(self):
+        assert ReadRules().matches(self.entry())
+
+    def test_lid_bounds(self):
+        assert ReadRules(min_lid=5, max_lid=5).matches(self.entry(lid=5))
+        assert not ReadRules(min_lid=6).matches(self.entry(lid=5))
+        assert not ReadRules(max_lid=4).matches(self.entry(lid=5))
+
+    def test_host_filter(self):
+        assert ReadRules(host="A").matches(self.entry(host="A"))
+        assert not ReadRules(host="B").matches(self.entry(host="A"))
+
+    def test_toid_bounds(self):
+        assert ReadRules(min_toid=3, max_toid=3).matches(self.entry(toid=3))
+        assert not ReadRules(min_toid=4).matches(self.entry(toid=3))
+        assert not ReadRules(max_toid=2).matches(self.entry(toid=3))
+
+    def test_tag_key_presence(self):
+        assert ReadRules(tag_key="k").matches(self.entry(tags={"k": 1}))
+        assert not ReadRules(tag_key="missing").matches(self.entry(tags={"k": 1}))
+
+    def test_tag_value_equality(self):
+        assert ReadRules(tag_key="k", tag_value=1).matches(self.entry(tags={"k": 1}))
+        assert not ReadRules(tag_key="k", tag_value=2).matches(self.entry(tags={"k": 1}))
+
+    def test_tag_min_value(self):
+        rules = ReadRules(tag_key="k", tag_min_value=5)
+        assert rules.matches(self.entry(tags={"k": 7}))
+        assert not rules.matches(self.entry(tags={"k": 3}))
+
+    def test_internal_records_hidden_by_default(self):
+        assert not ReadRules().matches(self.entry(internal=True))
+        assert ReadRules(include_internal=True).matches(self.entry(internal=True))

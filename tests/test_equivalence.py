@@ -1,0 +1,85 @@
+"""Pipeline ≡ abstract-solution equivalence (§6.2's stated goal).
+
+The distributed pipeline must produce "a behavior identical to the abstract
+solution" — property-based tests drive random multi-datacenter workloads
+through both and compare the outcomes: the same record sets everywhere,
+causal consistency of every log, and identical per-host total orders.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.chariots import AbstractDeployment, ChariotsDeployment
+from repro.core import causal_order_respected
+from repro.runtime import LocalRuntime, random_latency
+
+DCS = ["A", "B", "C"]
+
+#: A workload step: (datacenter index, payload index) — an append at that DC.
+workload_strategy = st.lists(
+    st.tuples(st.integers(0, len(DCS) - 1), st.integers(0, 999)),
+    min_size=1,
+    max_size=25,
+)
+
+
+def run_abstract(workload):
+    deployment = AbstractDeployment(DCS)
+    for dc_index, payload in workload:
+        deployment[DCS[dc_index]].append(f"p{payload}")
+    deployment.sync()
+    return deployment
+
+
+def run_pipeline(workload, seed):
+    runtime = LocalRuntime(latency_fn=random_latency(seed=seed, max_delay=0.03))
+    deployment = ChariotsDeployment(runtime, DCS, batch_size=4)
+    clients = {dc: deployment.blocking_client(dc) for dc in DCS}
+    for dc_index, payload in workload:
+        clients[DCS[dc_index]].append(f"p{payload}")
+    assert deployment.settle(max_seconds=60)
+    return deployment
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workload=workload_strategy, seed=st.integers(0, 1000))
+def test_pipeline_matches_abstract_record_sets(workload, seed):
+    abstract = run_abstract(workload)
+    pipeline = run_pipeline(workload, seed)
+    abstract_set = {r.rid for r in abstract[DCS[0]].records()}
+    for dc in DCS:
+        pipeline_set = {e.rid for e in pipeline[dc].all_entries()}
+        assert pipeline_set == abstract_set
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workload=workload_strategy, seed=st.integers(0, 1000))
+def test_pipeline_logs_causally_consistent(workload, seed):
+    pipeline = run_pipeline(workload, seed)
+    for dc in DCS:
+        records = [e.record for e in pipeline[dc].all_entries()]
+        assert causal_order_respected(records)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workload=workload_strategy, seed=st.integers(0, 1000))
+def test_per_host_total_order_identical_everywhere(workload, seed):
+    pipeline = run_pipeline(workload, seed)
+    abstract = run_abstract(workload)
+    for host in DCS:
+        reference = [r.toid for r in abstract[host].records() if r.host == host]
+        for dc in DCS:
+            observed = [
+                e.record.toid
+                for e in pipeline[dc].all_entries()
+                if e.record.host == host
+            ]
+            assert observed == reference
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workload=workload_strategy, seed=st.integers(0, 1000))
+def test_abstract_deployment_always_converges_causally(workload, seed):
+    deployment = run_abstract(workload)
+    assert deployment.converged()
+    for dc in DCS:
+        assert causal_order_respected(deployment[dc].records())

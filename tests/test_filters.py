@@ -1,0 +1,158 @@
+"""Tests for the filter stage (repro.chariots.filters)."""
+
+import pytest
+
+from repro.chariots import FilterCore, FilterMap
+from repro.chariots.messages import DraftRecord
+from repro.core import ConfigurationError
+
+from conftest import rec
+
+
+def draft(client: str, seq: int) -> DraftRecord:
+    return DraftRecord(client=client, seq=seq, body=f"{client}:{seq}")
+
+
+class TestFilterMap:
+    def test_single_filter_champions_everything(self):
+        fmap = FilterMap(["f0"])
+        assert fmap.filter_for("A", 1) == "f0"
+        assert fmap.filter_for("B", 99) == "f0"
+
+    def test_host_assignment(self):
+        fmap = FilterMap(["f0", "f1"])
+        fmap.assign_host("A", ["f0"])
+        fmap.assign_host("B", ["f1"])
+        assert fmap.filter_for("A", 7) == "f0"
+        assert fmap.filter_for("B", 7) == "f1"
+
+    def test_residue_slicing_when_sharing_a_host(self):
+        # §6.2: filter x takes odd TOIds, filter y takes even TOIds.
+        fmap = FilterMap(["x", "y"])
+        fmap.assign_host("A", ["x", "y"])
+        assert fmap.filter_for("A", 1) == "y"  # 1 % 2 = 1 -> index 1
+        assert fmap.filter_for("A", 2) == "x"
+        champions = {fmap.filter_for("A", t) for t in range(1, 10)}
+        assert champions == {"x", "y"}
+
+    def test_duplicate_host_assignment_rejected(self):
+        fmap = FilterMap(["f0"])
+        fmap.assign_host("A", ["f0"])
+        with pytest.raises(ConfigurationError):
+            fmap.assign_host("A", ["f0"])
+
+    def test_reassignment_must_be_future(self):
+        fmap = FilterMap(["f0"])
+        fmap.assign_host("A", ["f0"])
+        with pytest.raises(ConfigurationError):
+            fmap.reassign_host("A", ["f0"], from_toid=1)
+
+    def test_future_reassignment_splits_at_boundary(self):
+        fmap = FilterMap(["f0"])
+        fmap.assign_host("A", ["f0"])
+        fmap.reassign_host("A", ["f0", "f1"], from_toid=100)
+        assert fmap.filter_for("A", 99) == "f0"
+        assert {fmap.filter_for("A", t) for t in range(100, 110)} == {"f0", "f1"}
+
+    def test_next_toid_for_respects_slicing(self):
+        fmap = FilterMap(["x", "y"])
+        fmap.assign_host("A", ["x", "y"])
+        # x champions even TOIds (toid % 2 == 0 -> index 0).
+        assert fmap.next_toid_for("A", 0, "x") == 2
+        assert fmap.next_toid_for("A", 2, "x") == 4
+        assert fmap.next_toid_for("A", 0, "y") == 1
+
+    def test_next_toid_for_crosses_epochs(self):
+        fmap = FilterMap(["f0"])
+        fmap.assign_host("A", ["f0"])
+        fmap.reassign_host("A", ["f1"], from_toid=5)
+        assert fmap.next_toid_for("A", 3, "f0") == 4
+        assert fmap.next_toid_for("A", 4, "f1") == 5
+
+    def test_draft_champion_is_sticky(self):
+        fmap = FilterMap(["f0", "f1"])
+        d = draft("client-1", 1)
+        first = fmap.filter_for_draft(d)
+        fmap.add_filter("f2")
+        assert fmap.filter_for_draft(draft("client-1", 2)) == first
+
+    def test_champions_for(self):
+        fmap = FilterMap(["x", "y"])
+        fmap.assign_host("A", ["x", "y"])
+        assert set(fmap.champions_for("A", 1)) == {"x", "y"}
+
+
+class TestExternalAdmission:
+    def make(self):
+        fmap = FilterMap(["f0"])
+        fmap.assign_host("A", ["f0"])
+        fmap.assign_host("B", ["f0"])
+        return FilterCore("f0", fmap)
+
+    def test_in_order_admission(self):
+        core = self.make()
+        assert [r.toid for r in core.offer_external(rec("A", 1))] == [1]
+        assert [r.toid for r in core.offer_external(rec("A", 2))] == [2]
+
+    def test_duplicate_dropped(self):
+        core = self.make()
+        core.offer_external(rec("A", 1))
+        assert core.offer_external(rec("A", 1)) == []
+        assert core.duplicates_dropped == 1
+
+    def test_out_of_order_buffered_then_released(self):
+        core = self.make()
+        assert core.offer_external(rec("A", 3)) == []
+        assert core.offer_external(rec("A", 2)) == []
+        released = core.offer_external(rec("A", 1))
+        assert [r.toid for r in released] == [1, 2, 3]
+        assert core.buffered_count() == 0
+
+    def test_duplicate_of_buffered_record_dropped(self):
+        core = self.make()
+        core.offer_external(rec("A", 2))
+        core.offer_external(rec("A", 2))
+        assert core.duplicates_dropped == 1
+
+    def test_hosts_are_independent(self):
+        core = self.make()
+        assert core.offer_external(rec("A", 1)) != []
+        assert core.offer_external(rec("B", 1)) != []
+        assert core.offer_external(rec("B", 3)) == []  # B:2 missing
+
+    def test_sliced_filter_expects_only_its_residues(self):
+        fmap = FilterMap(["x", "y"])
+        fmap.assign_host("A", ["x", "y"])
+        x = FilterCore("x", fmap)
+        # x champions evens: 2, 4, 6...
+        assert [r.toid for r in x.offer_external(rec("A", 2))] == [2]
+        assert x.offer_external(rec("A", 6)) == []  # 4 missing
+        assert [r.toid for r in x.offer_external(rec("A", 4))] == [4, 6]
+
+
+class TestDraftAdmission:
+    def make(self):
+        return FilterCore("f0", FilterMap(["f0"]))
+
+    def test_exactly_once_per_client(self):
+        core = self.make()
+        assert core.offer_draft(draft("c", 1)) != []
+        assert core.offer_draft(draft("c", 1)) == []
+        assert core.duplicates_dropped == 1
+
+    def test_client_fifo_restored(self):
+        core = self.make()
+        assert core.offer_draft(draft("c", 2)) == []
+        released = core.offer_draft(draft("c", 1))
+        assert [d.seq for d in released] == [1, 2]
+
+    def test_clients_are_independent(self):
+        core = self.make()
+        assert core.offer_draft(draft("c1", 1)) != []
+        assert core.offer_draft(draft("c2", 1)) != []
+
+    def test_records_admitted_counter(self):
+        core = self.make()
+        core.offer_draft(draft("c", 1))
+        core.offer_external(rec("A", 1))
+        assert core.records_admitted == 2

@@ -1,0 +1,149 @@
+"""Durability and crash recovery (repro.flstore.journal)."""
+
+import os
+
+import pytest
+
+from repro.flstore import (
+    FileJournal,
+    MaintainerCore,
+    MemoryJournal,
+    OwnershipPlan,
+    recover_maintainer_core,
+)
+
+from conftest import chain, rec
+
+
+def make_plan(n=2, batch=5):
+    return OwnershipPlan([f"m{i}" for i in range(n)], batch_size=batch)
+
+
+class TestMemoryJournal:
+    def test_records_every_placement(self):
+        plan = make_plan()
+        journal = MemoryJournal()
+        core = MaintainerCore("m0", plan, journal=journal)
+        core.append(chain("c", 4))
+        assert len(journal) == 4
+
+    def test_replay_order_matches_placement_order(self):
+        plan = make_plan()
+        journal = MemoryJournal()
+        core = MaintainerCore("m0", plan, journal=journal)
+        core.append(chain("c", 3))
+        lids = [lid for lid, _ in journal.replay()]
+        assert lids == [0, 1, 2]
+
+    def test_truncate_compacts(self):
+        plan = make_plan()
+        journal = MemoryJournal()
+        core = MaintainerCore("m0", plan, journal=journal)
+        core.append(chain("c", 4))
+        assert journal.truncate_below(2) == 2
+        assert [lid for lid, _ in journal.replay()] == [2, 3]
+
+
+class TestCrashRecovery:
+    def test_recovered_core_has_identical_state(self):
+        plan = make_plan(batch=3)
+        journal = MemoryJournal()
+        core = MaintainerCore("m0", plan, journal=journal)
+        core.append(chain("c", 7))  # crosses a round boundary (0-2, 6-8)
+        recovered = recover_maintainer_core("m0", plan, journal.replay())
+        assert recovered.stored_count() == core.stored_count()
+        assert recovered.next_unassigned == core.next_unassigned
+        assert [e.lid for e in recovered.stored_entries()] == [
+            e.lid for e in core.stored_entries()
+        ]
+
+    def test_recovered_core_resumes_without_reusing_lids(self):
+        plan = make_plan(batch=3)
+        journal = MemoryJournal()
+        core = MaintainerCore("m0", plan, journal=journal)
+        before = {r.lid for r in core.append(chain("c", 5))}
+        recovered = recover_maintainer_core("m0", plan, journal.replay())
+        after = {r.lid for r in recovered.append(chain("d", 3))}
+        assert not (before & after)
+
+    def test_recovery_restores_out_of_order_placements(self):
+        plan = make_plan(batch=5)
+        journal = MemoryJournal()
+        core = MaintainerCore("m0", plan, journal=journal)
+        core.place(3, rec("A", 1))  # early arrival, cursor still at 0
+        core.place(0, rec("A", 2))
+        recovered = recover_maintainer_core("m0", plan, journal.replay())
+        assert recovered.next_unassigned == 1
+        assert recovered.try_get(3) is not None
+
+    def test_recovery_chains_into_a_new_journal(self):
+        plan = make_plan()
+        first = MemoryJournal()
+        core = MaintainerCore("m0", plan, journal=first)
+        core.append(chain("c", 3))
+        second = MemoryJournal()
+        recovered = recover_maintainer_core(
+            "m0", plan, first.replay(), new_journal=second
+        )
+        assert len(second) == 3  # replayed placements re-journal
+        recovered.append(chain("d", 1))
+        assert len(second) == 4
+
+    def test_recovered_maintainer_serves_reads(self):
+        plan = make_plan()
+        journal = MemoryJournal()
+        core = MaintainerCore("m0", plan, journal=journal)
+        core.append([rec("c", 1, body="survives")])
+        recovered = recover_maintainer_core("m0", plan, journal.replay())
+        assert recovered.get(0).record.body == "survives"
+
+
+class TestFileJournal:
+    def test_round_trip_through_disk(self, tmp_path):
+        path = os.path.join(tmp_path, "m0.journal")
+        plan = make_plan()
+        journal = FileJournal(path)
+        core = MaintainerCore("m0", plan, journal=journal)
+        core.append([rec("c", i + 1, body=f"b{i}") for i in range(5)])
+        journal.close()
+
+        restored = FileJournal(path)
+        recovered = recover_maintainer_core("m0", plan, restored.replay())
+        restored.close()
+        assert recovered.stored_count() == 5
+        assert recovered.get(0).record.body == "b0"
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = os.path.join(tmp_path, "torn.journal")
+        plan = make_plan()
+        journal = FileJournal(path)
+        core = MaintainerCore("m0", plan, journal=journal)
+        core.append(chain("c", 3))
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"lid": 3, "record": {"host": "c", "to')  # crash mid-write
+
+        restored = FileJournal(path)
+        recovered = recover_maintainer_core("m0", plan, restored.replay())
+        restored.close()
+        assert recovered.stored_count() == 3
+
+    def test_empty_journal_recovers_empty_core(self, tmp_path):
+        path = os.path.join(tmp_path, "empty.journal")
+        journal = FileJournal(path)
+        recovered = recover_maintainer_core("m0", make_plan(), journal.replay())
+        journal.close()
+        assert recovered.stored_count() == 0
+        assert recovered.next_unassigned == 0
+
+    def test_tags_survive_the_disk_round_trip(self, tmp_path):
+        path = os.path.join(tmp_path, "tags.journal")
+        plan = make_plan()
+        journal = FileJournal(path)
+        core = MaintainerCore("m0", plan, journal=journal)
+        core.append([rec("c", 1, tags={"key": "value"})])
+        journal.close()
+        restored = FileJournal(path)
+        recovered = recover_maintainer_core("m0", plan, restored.replay())
+        restored.close()
+        assert recovered.get(0).record.tag_dict() == {"key": "value"}

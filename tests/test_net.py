@@ -1,0 +1,195 @@
+"""Tests for the asyncio TCP deployment of FLStore (repro.net)."""
+
+import asyncio
+
+import pytest
+
+from repro.core import ChariotsError, ReadRules
+from repro.net.deploy import FLStoreNetDeployment
+from repro.net.protocol import (
+    decode_body,
+    encode_frame,
+    entry_from_dict,
+    entry_to_dict,
+    record_from_dict,
+    record_to_dict,
+    rules_from_dict,
+    rules_to_dict,
+)
+from repro.core.errors import NetworkProtocolError
+from repro.core.record import LogEntry
+
+from conftest import rec
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestProtocol:
+    def test_record_round_trip(self):
+        record = rec("A", 3, body="hello", deps={"B": 2}, tags={"k": 1})
+        assert record_from_dict(record_to_dict(record)) == record
+
+    def test_entry_round_trip(self):
+        entry = LogEntry(9, rec("A", 1))
+        assert entry_from_dict(entry_to_dict(entry)) == entry
+
+    def test_rules_round_trip(self):
+        rules = ReadRules(tag_key="k", tag_value=5, limit=3, max_lid=10, most_recent=False)
+        restored = rules_from_dict(rules_to_dict(rules))
+        assert restored.tag_key == "k"
+        assert restored.limit == 3
+        assert restored.most_recent is False
+
+    def test_frame_round_trip(self):
+        frame = encode_frame({"type": "x", "n": 1})
+        assert decode_body(frame[4:]) == {"type": "x", "n": 1}
+
+    def test_malformed_frame_rejected(self):
+        with pytest.raises(NetworkProtocolError):
+            decode_body(b"\xff\xfe not json")
+
+    def test_untyped_message_rejected(self):
+        import json
+
+        with pytest.raises(NetworkProtocolError):
+            decode_body(json.dumps({"no": "type"}).encode())
+
+
+class TestNetDeployment:
+    def test_append_and_read_over_tcp(self):
+        async def scenario():
+            deployment = FLStoreNetDeployment(n_maintainers=3, batch_size=5)
+            await deployment.start()
+            try:
+                client = await deployment.client()
+                results = [await client.append(f"v{i}") for i in range(12)]
+                assert len({r.lid for r in results}) == 12
+                entry = await client.read_lid(results[0].lid)
+                assert entry.record.body == "v0"
+                await client.close()
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+    def test_head_advances_over_tcp_gossip(self):
+        async def scenario():
+            deployment = FLStoreNetDeployment(n_maintainers=2, batch_size=4)
+            await deployment.start()
+            try:
+                client = await deployment.client()
+                for i in range(10):
+                    await client.append(f"v{i}")
+                await asyncio.sleep(0.05)  # a few gossip rounds
+                head = await client.head()
+                assert head >= 0
+                for lid in range(head + 1):
+                    await client.read_lid(lid)  # must not raise
+                await client.close()
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+    def test_tag_lookup_via_index_pump(self):
+        async def scenario():
+            deployment = FLStoreNetDeployment(n_maintainers=2, n_indexers=1, batch_size=4)
+            await deployment.start()
+            try:
+                client = await deployment.client()
+                for i in range(8):
+                    await client.append(f"v{i}", tags={"p": i % 2})
+                await asyncio.sleep(0.08)  # index pump round
+                entries = await client.read(ReadRules(tag_key="p", tag_value=1, limit=2))
+                assert len(entries) == 2
+                assert all(e.record.tag_dict()["p"] == 1 for e in entries)
+                await client.close()
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+    def test_remote_error_surfaces_as_exception(self):
+        async def scenario():
+            deployment = FLStoreNetDeployment(n_maintainers=1, batch_size=4)
+            await deployment.start()
+            try:
+                client = await deployment.client()
+                with pytest.raises(ChariotsError):
+                    await client.read_lid(999)  # beyond the log
+                await client.close()
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+    def test_multiple_clients_share_the_log(self):
+        async def scenario():
+            deployment = FLStoreNetDeployment(n_maintainers=2, batch_size=4)
+            await deployment.start()
+            try:
+                c1 = await deployment.client("one")
+                c2 = await deployment.client("two")
+                r1 = await c1.append("from-one")
+                entry = await c2.read_lid(r1.lid)
+                assert entry.record.body == "from-one"
+                await c1.close()
+                await c2.close()
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+
+class TestConcurrency:
+    def test_parallel_appends_from_many_tasks(self):
+        async def scenario():
+            deployment = FLStoreNetDeployment(n_maintainers=3, batch_size=10)
+            await deployment.start()
+            try:
+                clients = [await deployment.client(f"c{i}") for i in range(4)]
+
+                async def writer(client, n):
+                    return [await client.append(f"{client.client_id}-{i}") for i in range(n)]
+
+                results = await asyncio.gather(*(writer(c, 10) for c in clients))
+                lids = [r.lid for batch in results for r in batch]
+                assert len(lids) == len(set(lids)) == 40  # no collisions
+                for client in clients:
+                    await client.close()
+            finally:
+                await deployment.stop()
+
+        run(scenario())
+
+    def test_interleaved_reads_and_writes(self):
+        async def scenario():
+            deployment = FLStoreNetDeployment(n_maintainers=2, batch_size=5)
+            await deployment.start()
+            try:
+                writer = await deployment.client("writer")
+                reader = await deployment.client("reader")
+
+                async def write_loop():
+                    return [await writer.append(f"w{i}") for i in range(20)]
+
+                async def read_loop(results_future):
+                    await asyncio.sleep(0.01)
+                    seen = 0
+                    for _ in range(50):
+                        head = await reader.head()
+                        seen = max(seen, head + 1)
+                        await asyncio.sleep(0.005)
+                    return seen
+
+                writes, seen = await asyncio.gather(write_loop(), read_loop(None))
+                assert len(writes) == 20
+                assert seen > 0  # the reader observed progress concurrently
+                await writer.close()
+                await reader.close()
+            finally:
+                await deployment.stop()
+
+        run(scenario())

@@ -1,0 +1,148 @@
+"""Tests for pipeline construction and wiring details (repro.chariots.pipeline)."""
+
+import pytest
+
+from repro.chariots import ChariotsDeployment, DatacenterPipeline
+from repro.core import DeploymentSpec, PipelineConfig
+from repro.runtime import LocalRuntime
+
+
+class TestStageCounts:
+    def test_spec_controls_machine_counts(self, runtime):
+        spec = DeploymentSpec(batchers=3, filters=2, queues=2, maintainers=4,
+                              senders=2, receivers=3)
+        pipeline = DatacenterPipeline(runtime, "A", ["A"], spec=spec)
+        assert len(pipeline.batchers) == 3
+        assert len(pipeline.filters) == 2
+        assert len(pipeline.queues) == 2
+        assert len(pipeline.maintainers) == 4
+        assert len(pipeline.senders) == 2
+        assert len(pipeline.receivers) == 3
+
+    def test_actor_names_are_namespaced_by_datacenter(self, runtime):
+        pipeline = DatacenterPipeline(runtime, "west", ["west"])
+        for group in (pipeline.batchers, pipeline.filters, pipeline.queues,
+                      pipeline.maintainers, pipeline.senders, pipeline.receivers):
+            for actor in group:
+                assert actor.name.startswith("west/")
+
+    def test_exactly_one_queue_holds_the_initial_token(self, runtime):
+        pipeline = DatacenterPipeline(
+            runtime, "A", ["A"], spec=DeploymentSpec(queues=3)
+        )
+        holders = [q for q in pipeline.queues if q.holds_token]
+        assert len(holders) == 1
+
+    def test_token_ring_is_closed(self, runtime):
+        pipeline = DatacenterPipeline(
+            runtime, "A", ["A"], spec=DeploymentSpec(queues=3)
+        )
+        names = {q.name for q in pipeline.queues}
+        successors = {q.next_queue for q in pipeline.queues}
+        assert successors == names  # a permutation cycle
+
+    def test_solo_queue_has_no_successor(self, runtime):
+        pipeline = DatacenterPipeline(runtime, "A", ["A"])
+        assert pipeline.queues[0].next_queue is None
+
+
+class TestSenderPartitioning:
+    def test_senders_partition_the_maintainers(self, runtime):
+        pipeline = DatacenterPipeline(
+            runtime, "A", ["A"], spec=DeploymentSpec(maintainers=4, senders=2)
+        )
+        covered = [m for sender in pipeline.senders for m in sender.maintainers]
+        assert sorted(covered) == sorted(m.name for m in pipeline.maintainers)
+        # Disjoint coverage: no maintainer shipped twice.
+        assert len(covered) == len(set(covered))
+
+    def test_more_senders_than_maintainers_still_covers(self, runtime):
+        pipeline = DatacenterPipeline(
+            runtime, "A", ["A"], spec=DeploymentSpec(maintainers=1, senders=3)
+        )
+        covered = {m for sender in pipeline.senders for m in sender.maintainers}
+        assert covered == {pipeline.maintainers[0].name}
+
+
+class TestFilterChampioning:
+    def test_each_host_has_a_champion(self, runtime):
+        pipeline = DatacenterPipeline(
+            runtime, "A", ["A", "B", "C"], spec=DeploymentSpec(filters=2)
+        )
+        for host in ("A", "B", "C"):
+            champion = pipeline.filter_map.filter_for(host, 1)
+            assert champion in {f.name for f in pipeline.filters}
+
+    def test_more_filters_than_hosts_slices_by_residue(self, runtime):
+        pipeline = DatacenterPipeline(
+            runtime, "A", ["A", "B"], spec=DeploymentSpec(filters=4)
+        )
+        champions = {
+            pipeline.filter_map.filter_for("A", toid) for toid in range(1, 9)
+        }
+        assert len(champions) == 2  # A's records split over its champion group
+
+
+class TestClientWiring:
+    def test_client_names_are_unique(self, runtime):
+        deployment = ChariotsDeployment(runtime, ["A"])
+        c1 = deployment.client("A")
+        c2 = deployment.client("A")
+        assert c1.name != c2.name
+
+    def test_client_deps_flow_into_records(self, runtime):
+        deployment = ChariotsDeployment(runtime, ["A"], batch_size=4)
+        client = deployment.blocking_client("A")
+        client.append("base")
+        result = client.append("dependent", deps={"X": 7})
+        entry = client.read_lid(result.lid).entries[0]
+        assert entry.record.dep_vector()["X"] == 7
+
+    def test_clients_spread_over_batchers(self, runtime):
+        deployment = ChariotsDeployment(
+            runtime, ["A"], spec=DeploymentSpec(batchers=2), batch_size=4
+        )
+        clients = [deployment.blocking_client("A") for _ in range(2)]
+        for client in clients:
+            client.append("x")
+        runtime.run_for(0.1)
+        batched = [b.records_batched for b in deployment["A"].batchers]
+        assert all(count > 0 for count in batched)
+
+
+class TestReceiverFanout:
+    def test_receivers_round_robin_over_batchers(self, runtime):
+        deployment = ChariotsDeployment(
+            runtime,
+            ["A", "B"],
+            specs={
+                "A": DeploymentSpec(batchers=2, receivers=1),
+                "B": DeploymentSpec(),
+            },
+            batch_size=4,
+        )
+        cb = deployment.blocking_client("B")
+        for i in range(6):
+            cb.append(f"b{i}")
+            deployment.settle(max_seconds=5)  # one shipment per append
+        batched = [b.records_batched for b in deployment["A"].batchers]
+        assert all(count > 0 for count in batched)
+
+
+class TestDeploymentSpecs:
+    def test_per_datacenter_specs(self, runtime):
+        deployment = ChariotsDeployment(
+            runtime,
+            ["A", "B"],
+            specs={
+                "A": DeploymentSpec(maintainers=3),
+                "B": DeploymentSpec(maintainers=1),
+            },
+        )
+        assert len(deployment["A"].maintainers) == 3
+        assert len(deployment["B"].maintainers) == 1
+
+    def test_config_objects_are_shared_downward(self, runtime):
+        config = PipelineConfig(token_hold_interval=0.123)
+        deployment = ChariotsDeployment(runtime, ["A"], pipeline_config=config)
+        assert deployment["A"].queues[0].config.token_hold_interval == 0.123

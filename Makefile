@@ -1,0 +1,23 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check test bench-smoke bench-reports
+
+## Tier-1 gate: the full test suite plus a seconds-scale bench smoke.
+check: test bench-smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Quick sanity pass over the perf harness: tiny batches, one repeat —
+## catches import/shape breakage in ~5 s without measuring anything real.
+bench-smoke:
+	$(PYTHON) -c "from repro.bench.micro import run_micro_suite; \
+	report = run_micro_suite(batch=200, repeats=1); \
+	assert report['codec']['Record']['binary']['encode_ops_per_sec'] > 0; \
+	print('bench smoke ok:', sorted(report))"
+
+## Regenerate the committed perf reports (full-size measurement).
+bench-reports:
+	$(PYTHON) benchmarks/bench_micro_ops.py --json-out BENCH_micro.json
+	$(PYTHON) benchmarks/bench_micro_ops.py --suite pipeline --json-out BENCH_pipeline.json

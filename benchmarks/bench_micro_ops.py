@@ -5,16 +5,30 @@ these measure the actual Python implementation: records appended per host
 second through the core data structures and through a full in-process
 pipeline.  Useful for catching performance regressions in the library
 itself.
+
+Run under pytest-benchmark for the full statistical treatment, or as a
+script to write the machine-readable reports the repo commits::
+
+    python benchmarks/bench_micro_ops.py --json-out BENCH_micro.json
+    python benchmarks/bench_micro_ops.py --suite pipeline --json-out BENCH_pipeline.json
 """
 
 import itertools
+import json
 
 import pytest
 
+from repro.bench.micro import sample_records
 from repro.chariots import AbstractChariots, ChariotsDeployment
 from repro.chariots.filters import FilterCore, FilterMap
 from repro.core import LogStore, Record
 from repro.flstore import MaintainerCore, OwnershipPlan
+from repro.net import (
+    decode_message,
+    decode_value_binary,
+    encode_message,
+    encode_value_binary,
+)
 from repro.runtime import LocalRuntime
 
 N = 2_000
@@ -90,6 +104,30 @@ def test_micro_abstract_replication(benchmark):
     assert len(benchmark(run)) == N
 
 
+@pytest.mark.benchmark(group="codec")
+def test_micro_codec_binary_roundtrip(benchmark):
+    records = sample_records(N)
+
+    def run():
+        blobs = [encode_value_binary(r) for r in records]
+        return [decode_value_binary(b) for b in blobs]
+
+    assert benchmark(run) == records
+
+
+@pytest.mark.benchmark(group="codec")
+def test_micro_codec_json_roundtrip(benchmark):
+    records = sample_records(N)
+
+    def run():
+        blobs = [
+            json.dumps(encode_message(r), separators=(",", ":")) for r in records
+        ]
+        return [decode_message(json.loads(b)) for b in blobs]
+
+    assert benchmark(run) == records
+
+
 @pytest.mark.benchmark(group="micro")
 def test_micro_end_to_end_pipeline_appends(benchmark):
     """Whole-pipeline host throughput: client -> ... -> maintainer."""
@@ -105,3 +143,55 @@ def test_micro_end_to_end_pipeline_appends(benchmark):
         return deployment["A"].total_records()
 
     assert benchmark(run) == 500
+
+
+#: Host cost of the same ``run_pipeline_sim(clients=1, duration=0.8,
+#: warmup=0.3)`` configuration measured just before the hot-path overhaul
+#: (binary codec + batch-aware stage fast paths).  Pinned into
+#: BENCH_pipeline.json so the improvement stays visible in the report.
+PRE_OVERHAUL_PIPELINE_BASELINE = {
+    "records_stored": 101_000,
+    "wall_clock_seconds": 1.173,
+}
+
+
+def main(argv=None):
+    import argparse
+
+    from repro.bench.micro import (
+        run_micro_suite,
+        run_pipeline_suite,
+        write_json_report,
+    )
+
+    parser = argparse.ArgumentParser(
+        description="Measure hot-path ops/sec and write a deterministic JSON report."
+    )
+    parser.add_argument(
+        "--suite",
+        choices=("micro", "pipeline"),
+        default="micro",
+        help="micro: codec/maintainer/filter ops; pipeline: end-to-end sim wall clock",
+    )
+    parser.add_argument(
+        "--json-out", metavar="PATH", help="write the report to PATH instead of stdout"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="measurement rounds per candidate"
+    )
+    args = parser.parse_args(argv)
+
+    if args.suite == "micro":
+        report = run_micro_suite(repeats=args.repeats or 6)
+    else:
+        report = run_pipeline_suite(
+            repeats=args.repeats or 3, baseline=PRE_OVERHAUL_PIPELINE_BASELINE
+        )
+    if args.json_out:
+        write_json_report(args.json_out, report)
+    else:
+        print(json.dumps(report, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

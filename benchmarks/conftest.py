@@ -2,7 +2,37 @@
 
 from __future__ import annotations
 
-from typing import Callable
+import dataclasses
+import json
+from typing import Callable, Dict
+
+_RESULTS: Dict[str, object] = {}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json-out",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write every result collected via run_once() as deterministic "
+        "JSON (sorted keys, no timestamps)",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--json-out", default=None)
+    if not path or not _RESULTS:
+        return
+    payload = {
+        name: dataclasses.asdict(result)
+        if dataclasses.is_dataclass(result)
+        else result
+        for name, result in _RESULTS.items()
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=repr)
+        handle.write("\n")
 
 
 def run_once(benchmark, fn: Callable, *args, **kwargs):
@@ -10,9 +40,12 @@ def run_once(benchmark, fn: Callable, *args, **kwargs):
 
     The interesting output of these benchmarks is the *simulated* rates the
     result object carries (printed as the paper's tables/figures), not the
-    host wall time, so one round suffices.
+    host wall time, so one round suffices.  Results are kept for
+    ``--json-out`` reporting.
     """
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    _RESULTS[benchmark.name] = result
+    return result
 
 
 def kilo(rate: float) -> str:

@@ -10,6 +10,15 @@ from .harness import (
     run_flstore_sim,
     run_pipeline_sim,
 )
+from .micro import (
+    bench_codecs,
+    bench_filter_admission,
+    bench_maintainer_append,
+    interleaved_best_of,
+    run_micro_suite,
+    run_pipeline_suite,
+    write_json_report,
+)
 
 __all__ = [
     "CorfuSimResult",
@@ -18,9 +27,15 @@ __all__ = [
     "PipelineSimResult",
     "SystemEntry",
     "TABLE1",
+    "bench_codecs",
+    "bench_filter_admission",
+    "bench_maintainer_append",
     "chariots_fills_the_void",
+    "interleaved_best_of",
     "render",
     "run_corfu_sim",
     "run_flstore_sim",
-    "run_pipeline_sim",
+    "run_micro_suite",
+    "run_pipeline_suite",
+    "write_json_report",
 ]

@@ -12,12 +12,12 @@ the shared :class:`~repro.chariots.filters.FilterMap`.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from ..core.config import PipelineConfig
 from ..runtime.actor import Actor
 from .filters import FilterMap
-from .messages import DraftBatch, FilterBatch
+from .messages import DraftBatch, DraftRecord, FilterBatch
 
 
 class Batcher(Actor):
@@ -40,19 +40,29 @@ class Batcher(Actor):
 
     def on_message(self, sender: str, message: Any) -> None:
         if isinstance(message, DraftBatch):
-            for draft in message.drafts:
-                self._buffer_for(self.filter_map.filter_for_draft(draft)).drafts.append(draft)
-                self.records_batched += 1
+            self._buffer_drafts(message.drafts)
             self._flush_full()
         elif isinstance(message, FilterBatch):
             # Receivers forward external records wrapped as FilterBatch.
+            filter_for_record = self.filter_map.filter_for_record
             for record in message.externals:
-                self._buffer_for(self.filter_map.filter_for_record(record)).externals.append(record)
-                self.records_batched += 1
-            for draft in message.drafts:
-                self._buffer_for(self.filter_map.filter_for_draft(draft)).drafts.append(draft)
-                self.records_batched += 1
+                self._buffer_for(filter_for_record(record)).externals.append(record)
+            self.records_batched += len(message.externals)
+            self._buffer_drafts(message.drafts)
             self._flush_full()
+
+    def _buffer_drafts(self, drafts: List[DraftRecord]) -> None:
+        # Client champions are sticky, so a run of drafts from one client
+        # (the dominant arrival pattern) resolves its champion once.
+        filter_for_draft = self.filter_map.filter_for_draft
+        last_client: Optional[str] = None
+        target: List[DraftRecord] = []
+        for draft in drafts:
+            if draft.client != last_client:
+                last_client = draft.client
+                target = self._buffer_for(filter_for_draft(draft)).drafts
+            target.append(draft)
+        self.records_batched += len(drafts)
 
     def _buffer_for(self, filter_name: str) -> FilterBatch:
         buffer = self._buffers.get(filter_name)

@@ -155,6 +155,22 @@ class FilterMap:
             self._client_champion[draft.client] = champion
         return champion
 
+    def sole_champion(self, host: DatacenterId) -> Optional[str]:
+        """The one filter championing *every* TOId of ``host``, or ``None``.
+
+        Only the unsplit, never-reassigned case qualifies (one epoch, one
+        champion — or no epoch and a single filter overall).  In that case
+        the host's championed TOIds are dense, which lets
+        :meth:`FilterCore.offer_externals` admit in-order runs without the
+        per-record ``next_toid_for`` stepping.
+        """
+        epochs = self._host_epochs.get(host)
+        if epochs is None:
+            return self._filters[0] if len(self._filters) == 1 else None
+        if len(epochs) == 1 and len(epochs[0][1]) == 1:
+            return epochs[0][1][0]
+        return None
+
 
 class FilterCore:
     """Pure-logic uniqueness/ordering state for one filter."""
@@ -235,6 +251,46 @@ class FilterCore:
         self._next_toid[host] = expected
         return released
 
+    def offer_externals(self, records: List[Record]) -> List[Record]:
+        """Batch form of :meth:`offer_external`.
+
+        Dense in-order runs from a sole-champion host — the WAN replication
+        hot path, where a shipment carries one host's records in TOId order —
+        are admitted as a slice, skipping the per-record champion check,
+        reorder-buffer probe and ``next_toid_for`` stepping.  Anything else
+        falls back to the per-record path, so semantics are unchanged.
+        """
+        released: List[Record] = []
+        i = 0
+        n = len(records)
+        fm = self.filter_map
+        next_toid = self._next_toid
+        while i < n:
+            record = records[i]
+            host = record.host
+            if fm.sole_champion(host) != self.name:
+                released.extend(self.offer_external(record))
+                i += 1
+                continue
+            expected = next_toid.get(host, 1)
+            if record.toid != expected or self._reorder.get(host):
+                released.extend(self.offer_external(record))
+                i += 1
+                continue
+            toid = expected
+            j = i
+            while j < n:
+                r = records[j]
+                if r.host != host or r.toid != toid:
+                    break
+                toid += 1
+                j += 1
+            released.extend(records[i:j])
+            self.records_admitted += j - i
+            next_toid[host] = toid
+            i = j
+        return released
+
     # -- drafts ----------------------------------------------------------- #
 
     def offer_draft(self, draft: DraftRecord) -> List[DraftRecord]:
@@ -258,6 +314,40 @@ class FilterCore:
             self.records_admitted += 1
             expected += 1
         self._next_seq[draft.client] = expected
+        return released
+
+    def offer_drafts(self, drafts: List[DraftRecord]) -> List[DraftRecord]:
+        """Batch form of :meth:`offer_draft`.
+
+        Consecutive drafts from the same client with dense, in-order
+        sequence numbers — the local-append hot path — are admitted as a
+        slice with one bookkeeping update; out-of-order or interleaved
+        drafts fall back to the per-record path.
+        """
+        released: List[DraftRecord] = []
+        i = 0
+        n = len(drafts)
+        next_seq = self._next_seq
+        while i < n:
+            draft = drafts[i]
+            client = draft.client
+            expected = next_seq.get(client, 1)
+            if draft.seq != expected or self._draft_reorder.get(client):
+                released.extend(self.offer_draft(draft))
+                i += 1
+                continue
+            seq = expected
+            j = i
+            while j < n:
+                d = drafts[j]
+                if d.client != client or d.seq != seq:
+                    break
+                seq += 1
+                j += 1
+            released.extend(drafts[i:j])
+            self.records_admitted += j - i
+            next_seq[client] = seq
+            i = j
         return released
 
     # -- introspection ----------------------------------------------------- #
@@ -294,10 +384,10 @@ class FilterStage(Actor):
         if not isinstance(message, FilterBatch):
             return
         admitted = AdmittedBatch()
-        for record in message.externals:
-            admitted.externals.extend(self.core.offer_external(record))
-        for draft in message.drafts:
-            admitted.drafts.extend(self.core.offer_draft(draft))
+        if message.externals:
+            admitted.externals.extend(self.core.offer_externals(message.externals))
+        if message.drafts:
+            admitted.drafts.extend(self.core.offer_drafts(message.drafts))
         if admitted.record_count() > 0:
             self.send(next(self._queue_cycle), admitted)
         # Reassignment races: pass records we no longer champion onward.

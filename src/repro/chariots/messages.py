@@ -9,7 +9,7 @@ from ..core.record import DatacenterId, KnowledgeVector, Record, RecordId
 from ..runtime.messages import Payload
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DraftRecord:
     """A locally-appended record before the queue assigns its TOId/LId.
 
@@ -110,7 +110,7 @@ class TokenPass(Payload):
         return 64 + vector_bytes + sum(r.size_bytes(record_size) for r in self.token.deferred)
 
 
-@dataclass
+@dataclass(slots=True)
 class DraftCommitted:
     """Queue → client: a draft's assigned identity (the append ack of §3)."""
 

@@ -22,7 +22,7 @@ from typing import Any, Dict, List, Optional
 from ..core.causality import CausalFrontier, DeferredQueue
 from ..core.config import PipelineConfig
 from ..core.errors import DuplicateRecordError
-from ..core.record import DatacenterId, Record
+from ..core.record import DatacenterId, Record, RecordId, freeze_tags
 from ..flstore.messages import PlaceRecords
 from ..flstore.range_map import OwnershipPlan
 from ..runtime.actor import Actor
@@ -95,47 +95,83 @@ class QueueStage(Actor):
         assert token is not None
         frontier = CausalFrontier(token.frontier)
 
-        # 1. Externals: admit in causal order, defer the rest.
-        deferred = DeferredQueue()
-        for record in self._local_deferred + self._buffered_externals:
-            if frontier.is_duplicate(record):
-                continue
-            try:
-                deferred.push(record)
-            except DuplicateRecordError:
-                continue  # duplicate arrival of a still-deferred record
-        self._buffered_externals = []
-        ordered = deferred.drain(frontier)
+        # 1. Externals: admit in causal order, defer the rest.  Pure-draft
+        #    batches (the common local hot path) skip the priority queue.
+        if self._local_deferred or self._buffered_externals:
+            deferred = DeferredQueue()
+            for record in self._local_deferred + self._buffered_externals:
+                if frontier.is_duplicate(record):
+                    continue
+                try:
+                    deferred.push(record)
+                except DuplicateRecordError:
+                    continue  # duplicate arrival of a still-deferred record
+            self._buffered_externals = []
+            ordered = deferred.drain(frontier)
+            still_deferred = deferred.peek_all()
+        else:
+            ordered = []
+            still_deferred = []
 
         # 2. Local drafts: construct final records with the current frontier
         #    as their causality metadata (§6.1 Append, distributed form).
+        #    Every draft in the batch shares the same frontier snapshot minus
+        #    the local entry (only the local TOId advances inside this loop,
+        #    and it is excluded from the vector), so the dependency tuple is
+        #    computed once and reused for every dep-free draft.
         commits: List[DraftCommitted] = []
-        for draft in self._buffered_drafts:
-            toid = frontier.max_toid(self.dc_id) + 1
-            vector = frontier.snapshot()
-            vector.pop(self.dc_id, None)
-            for host, dep_toid in draft.deps:
-                if host != self.dc_id and dep_toid > vector.get(host, 0):
-                    vector[host] = dep_toid
-            record = Record.make(
-                self.dc_id, toid, draft.body, tags=dict(draft.tags), deps=vector
-            )
-            frontier.advance(record)
-            ordered.append(record)
-            commits.append(DraftCommitted(draft.client, draft.seq, record.rid, -1))
-        self._buffered_drafts = []
+        drafts = self._buffered_drafts
+        if drafts:
+            dc = self.dc_id
+            base_vector = frontier.snapshot()
+            base_vector.pop(dc, None)
+            base_items = tuple(sorted(base_vector.items()))
+            toid = frontier.max_toid(dc)
+            for draft in drafts:
+                toid += 1
+                if draft.deps:
+                    vector = dict(base_vector)
+                    for host, dep_toid in draft.deps:
+                        if host != dc and dep_toid > vector.get(host, 0):
+                            vector[host] = dep_toid
+                    dep_items = tuple(sorted(vector.items()))
+                else:
+                    dep_items = base_items
+                tags = freeze_tags(dict(draft.tags)) if draft.tags else ()
+                record = Record(
+                    rid=RecordId(dc, toid),
+                    body=draft.body,
+                    tags=tags,
+                    deps=dep_items,
+                )
+                ordered.append(record)
+                commits.append(DraftCommitted(draft.client, draft.seq, record.rid, -1))
+            frontier.advance_host(dc, toid)
+            self._buffered_drafts = []
 
-        # 3. Assign LIds and route to the owning maintainers.
+        # 3. Assign LIds and route to the owning maintainers.  Ownership is
+        #    constant across a round, so look it up once per run of LIds
+        #    instead of once per record.
         if ordered:
             placements: Dict[str, PlaceRecords] = {}
             lid_by_rid = {}
+            plan = self.plan
+            lid = token.next_lid
+            run_end = -1
+            target: List = []
             for record in ordered:
-                lid = token.next_lid
-                token.next_lid += 1
+                if lid >= run_end:
+                    owner = plan.owner(lid)
+                    run_end = plan.owned_run_end(lid)
+                    message = placements.get(owner)
+                    if message is None:
+                        message = placements[owner] = PlaceRecords()
+                    target = message.placements
                 lid_by_rid[record.rid] = lid
-                owner = self.plan.owner(lid)
-                placements.setdefault(owner, PlaceRecords()).placements.append((lid, record))
-                self.records_sequenced += 1
+                target.append((lid, record))
+                lid += 1
+            token.next_lid = lid
+            self.records_sequenced += len(ordered)
             for owner, message in placements.items():
                 self.send(owner, message)
             by_client: Dict[str, DraftCommitBatch] = {}
@@ -147,7 +183,7 @@ class QueueStage(Actor):
 
         # 4. Update the token; keep deferred overflow local.
         token.frontier = frontier.snapshot()
-        self._local_deferred = deferred.peek_all()
+        self._local_deferred = still_deferred
 
         if ordered:
             update = FrontierUpdate(token.frontier, token.next_lid)

@@ -65,6 +65,12 @@ class CausalFrontier:
         """Mark ``record`` incorporated.  Caller must check admissibility."""
         self._max_toid[record.host] = record.toid
 
+    def advance_host(self, host: DatacenterId, toid: int) -> None:
+        """Bulk advance: every record from ``host`` up to ``toid`` is now
+        incorporated.  Caller must guarantee the records exist and were
+        admitted in order (the queue stage's draft batch does)."""
+        self._max_toid[host] = toid
+
     def snapshot(self) -> KnowledgeVector:
         """An immutable copy of the vector, for tokens and ATable updates."""
         return dict(self._max_toid)

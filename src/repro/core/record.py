@@ -32,7 +32,7 @@ DatacenterId = str
 KnowledgeVector = Dict[DatacenterId, int]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class RecordId:
     """Globally unique, immutable identity of a record: ``(host, TOId)``.
 
@@ -64,7 +64,7 @@ def freeze_tags(tags: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...
     return tuple(sorted(tags.items()))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Record:
     """An immutable shared-log record.
 
@@ -142,7 +142,7 @@ class Record:
         return body + tag_overhead + dep_overhead + 24  # 24B fixed header
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogEntry:
     """One datacenter's copy of a record: the record plus its local LId.
 
@@ -163,7 +163,7 @@ class LogEntry:
         return self.record.rid
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AppendResult:
     """Returned to the application client after a successful append (§3).
 
@@ -178,7 +178,7 @@ class AppendResult:
         return self.rid.toid
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadRules:
     """Predicate object for ``Read(in: rules, out: records)`` (§3).
 

@@ -51,7 +51,7 @@ from .range_map import OwnershipPlan
 _INF = float("inf")
 
 
-@dataclass
+@dataclass(slots=True)
 class _DeferredAppend:
     """An explicit-order append waiting for its minimum LId bound (§5.4)."""
 
@@ -131,8 +131,55 @@ class MaintainerCore:
     def _bound_satisfied(self, min_lid: int) -> bool:
         return self._next_unassigned is not None and self._next_unassigned > min_lid
 
+    def _bulk_run_start(self, count: int) -> Optional[int]:
+        """First LId of a dense run of ``count`` free owned LIds, if one is
+        available at the cursor without any plan or gap checks.
+
+        Valid when no placed record sits at or beyond the cursor
+        (``_max_stored_lid < cursor`` — an O(1) summary of "no holes ahead")
+        and the whole run stays inside the cached owned round.
+        """
+        nxt = self._next_unassigned
+        if (
+            nxt is not None
+            and self._max_stored_lid < nxt
+            and nxt + count <= self._round_end
+        ):
+            return nxt
+        return None
+
+    def _finish_bulk_run(self, lid_after: int) -> None:
+        """Move the cursor past a dense bulk run ending at ``lid_after - 1``."""
+        if lid_after >= self._round_end:
+            self._next_unassigned = self.plan.next_owned_lid(self.name, lid_after - 1)
+            self._refresh_round_end()
+        else:
+            self._next_unassigned = lid_after
+        self._sync_self_vector()
+
     def _do_append(self, records: List[Record]) -> List[AppendResult]:
-        results: List[AppendResult] = []
+        start = self._bulk_run_start(len(records))
+        if start is not None:
+            storage = self._storage
+            by_rid = self._by_rid
+            postings = self._pending_postings
+            journal = self._journal
+            results = []
+            lid = start
+            for record in records:
+                storage[lid] = record
+                by_rid[record.rid] = lid
+                for key, value in record.tags:
+                    postings.append((key, value, lid))
+                if journal is not None:
+                    journal(lid, record)
+                results.append(AppendResult(record.rid, lid))
+                lid += 1
+            self._max_stored_lid = lid - 1
+            self.records_appended += len(records)
+            self._finish_bulk_run(lid)
+            return results
+        results = []
         for record in records:
             lid = self._take_next_lid()
             self._store(lid, record)
@@ -144,6 +191,25 @@ class MaintainerCore:
         """Fire-and-forget bulk append: like :meth:`append` without building
         per-record results.  Used by load generators where only the count is
         acknowledged."""
+        start = self._bulk_run_start(len(records))
+        if start is not None:
+            storage = self._storage
+            by_rid = self._by_rid
+            postings = self._pending_postings
+            journal = self._journal
+            lid = start
+            for record in records:
+                storage[lid] = record
+                by_rid[record.rid] = lid
+                for key, value in record.tags:
+                    postings.append((key, value, lid))
+                if journal is not None:
+                    journal(lid, record)
+                lid += 1
+            self._max_stored_lid = lid - 1
+            self.records_appended += len(records)
+            self._finish_bulk_run(lid)
+            return len(records)
         for record in records:
             lid = self._take_next_lid()
             self._store(lid, record)
@@ -299,21 +365,31 @@ class MaintainerCore:
         """
         entries: List[LogEntry] = []
         upto = after_lid
-        lid = self.plan.next_owned_lid(self.name, after_lid)
+        plan = self.plan
+        storage = self._storage
+        next_un = self._next_unassigned
+        gc_floor = self._gc_floor
+        lid = plan.next_owned_lid(self.name, after_lid)
+        # Owned LIds are consecutive within a round, so walk runs with
+        # ``lid += 1`` and pay the plan lookup only at run boundaries.
         while lid is not None and len(entries) < limit:
-            if self._next_unassigned is not None and lid >= self._next_unassigned:
-                break
-            record = self._storage.get(lid)
-            if record is None:
-                if self._gc_floor is not None and lid < self._gc_floor:
-                    # Collected prefix: skip forward, the peer already has it.
-                    upto = lid
-                    lid = self.plan.next_owned_lid(self.name, lid)
-                    continue
-                break  # hole: stop at the frontier
-            entries.append(LogEntry(lid, record))
-            upto = lid
-            lid = self.plan.next_owned_lid(self.name, lid)
+            run_end = plan.owned_run_end(lid)
+            while lid < run_end and len(entries) < limit:
+                if next_un is not None and lid >= next_un:
+                    return entries, upto
+                record = storage.get(lid)
+                if record is None:
+                    if gc_floor is not None and lid < gc_floor:
+                        # Collected prefix: skip forward, the peer has it.
+                        upto = lid
+                        lid += 1
+                        continue
+                    return entries, upto  # hole: stop at the frontier
+                entries.append(LogEntry(lid, record))
+                upto = lid
+                lid += 1
+            if lid >= run_end:
+                lid = plan.next_owned_lid(self.name, run_end - 1)
         return entries, upto
 
     # ------------------------------------------------------------------ #

@@ -136,6 +136,25 @@ class OwnershipPlan:
         """The maintainer responsible for ``lid`` (pure function, no RPC)."""
         return self.epoch_for(lid).owner(lid)
 
+    def owned_run_end(self, lid: int) -> int:
+        """Exclusive end of the single-owner run of LIds containing ``lid``.
+
+        Every LId in ``[lid, owned_run_end(lid))`` has the same owner as
+        ``lid``, letting batch assignment amortise one ownership lookup over
+        a whole round instead of paying a bisect per record.  Epoch
+        boundaries align with the prior epoch's round grid, so a run never
+        spans epochs; the clamp below is a safety net.
+        """
+        if lid < 0:
+            raise ConfigurationError(f"LIds are non-negative, got {lid}")
+        index = bisect_right(self._starts, lid) - 1
+        epoch = self._epochs[index]
+        rel = lid - epoch.start_lid
+        end = epoch.start_lid + (rel // epoch.batch_size + 1) * epoch.batch_size
+        if index + 1 < len(self._epochs):
+            end = min(end, self._starts[index + 1])
+        return end
+
     def next_owned_lid(self, name: str, after_lid: int) -> Optional[int]:
         """Smallest LId owned by ``name`` strictly greater than ``after_lid``.
 

@@ -20,13 +20,12 @@ The runtime implements the same registration/`send` surface as
 from __future__ import annotations
 
 import asyncio
-import json
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from ..core.errors import ConfigurationError, NetworkProtocolError
 from ..runtime.actor import Actor
 from .codec import decode_message, encode_message
-from .protocol import decode_body, encode_frame, read_frame
+from .protocol import CODEC_BINARY, CODEC_JSON, encode_frame, encode_frame_binary, read_frame
 
 
 class _AioTimerHandle:
@@ -66,9 +65,18 @@ class _AioLoopShim:
 
 
 class AioRuntime:
-    """Actor runtime whose transport is a real localhost TCP connection."""
+    """Actor runtime whose transport is a real localhost TCP connection.
 
-    def __init__(self, host: str = "127.0.0.1") -> None:
+    ``codec`` picks the route-frame format: "binary" (default) sends each
+    actor message through the packed binary codec; "json" keeps the
+    tagged-JSON encoding.  Both ends of the router are this process, so no
+    negotiation is needed — the choice only affects serialisation cost.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", codec: str = CODEC_BINARY) -> None:
+        if codec not in (CODEC_BINARY, CODEC_JSON):
+            raise ConfigurationError(f"unknown codec {codec!r}")
+        self.codec = codec
         self.loop = _AioLoopShim()
         self._host = host
         self._actors: Dict[str, Actor] = {}
@@ -136,7 +144,11 @@ class AioRuntime:
         target = self._actors.get(dst)
         if target is None:
             return  # destination retired while the frame was in flight
-        message = decode_message(envelope["m"])
+        message = envelope["m"]
+        if isinstance(message, dict):
+            # JSON route frames carry the tagged encoding; binary frames
+            # deliver the decoded message object directly.
+            message = decode_message(message)
         self.messages_routed += 1
         target.on_message(envelope["s"], message)
 
@@ -148,9 +160,14 @@ class AioRuntime:
             raise ConfigurationError("AioRuntime not started; call await start()")
         if dst not in self._actors:
             raise ConfigurationError(f"message from {src!r} to unknown actor {dst!r}")
-        frame = encode_frame(
-            {"type": "route", "s": src, "d": dst, "m": encode_message(message)}
-        )
+        if self.codec == CODEC_BINARY:
+            frame = encode_frame_binary(
+                {"type": "route", "s": src, "d": dst, "m": message}
+            )
+        else:
+            frame = encode_frame(
+                {"type": "route", "s": src, "d": dst, "m": encode_message(message)}
+            )
         self.bytes_routed += len(frame)
         self._writer.write(frame)
 

@@ -1,0 +1,623 @@
+"""Binary fast-path codec: length-prefixed, struct-packed message encoding.
+
+The tagged-JSON codec (:mod:`repro.net.codec`) is safe and fully general,
+but it pays for that generality twice on every message: a recursive Python
+pass that builds tagged dictionaries, then a JSON serialisation pass (with
+base64 for byte bodies).  On the hot path — ``Record``/``LogEntry`` batches
+flowing through appends, placements, and replication shipments — that codec
+dominates the per-record cost of the TCP deployment.
+
+This module encodes the same value domain in a single recursive pass that
+appends struct-packed bytes directly:
+
+* scalars: ``None``/bools as one tag byte; ints as 8-byte big-endian
+  (arbitrary-precision fallback for the rare overflow); floats as IEEE
+  doubles; strings/bytes as length-prefixed payloads (no base64) — the
+  length is one byte for payloads under 255 bytes, else ``0xFF`` + u32;
+* containers: lists, tuples, and dicts with 4-byte counts — dict keys are
+  arbitrary encoded values, not just strings;
+* hot value types: ``Record``, ``RecordId``, ``LogEntry``,
+  ``AppendResult``, and ``DraftRecord`` get bespoke packed layouts;
+* every registered protocol message: a generic ``(type index, fields...)``
+  layout over the deterministic registry shared with the JSON codec.
+
+Symmetry holds exactly as for the JSON codec: ``decode(encode(x)) == x``
+for every registered message type and every JSON-free application body.
+Framing and per-connection negotiation live in :mod:`repro.net.protocol`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from operator import attrgetter
+from typing import Any, Callable, Dict, List, Tuple
+
+from ..chariots.messages import DraftRecord
+from ..core.errors import NetworkProtocolError
+from ..core.record import AppendResult, LogEntry, Record, RecordId
+from .codec import registered_message_types
+
+# Decoded objects are built without running the frozen-dataclass __init__
+# (object.__new__ + object.__setattr__): the ctor's per-field immutability
+# machinery is pure overhead when every field comes straight off the wire.
+# The __post_init__ invariants (toid >= 1, lid >= 0) are checked explicitly.
+_new = object.__new__
+_set = object.__setattr__
+
+
+def _make_rid(host: str, toid: int) -> RecordId:
+    if toid < 1:
+        raise NetworkProtocolError(f"TOIds start at 1, got {toid}")
+    rid = _new(RecordId)
+    _set(rid, "host", host)
+    _set(rid, "toid", toid)
+    return rid
+
+
+def _make_entry(lid: int, record: Record) -> LogEntry:
+    if lid < 0:
+        raise NetworkProtocolError(f"LIds are non-negative, got {lid}")
+    entry = _new(LogEntry)
+    _set(entry, "lid", lid)
+    _set(entry, "record", record)
+    return entry
+
+#: First byte of every binary frame body.  Tagged-JSON frames always start
+#: with ``{`` (0x7B), so one byte suffices to tell the formats apart.
+BINARY_MAGIC = 0xC5
+
+# Value tags (one byte each).
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_LIST = 0x07
+_T_TUPLE = 0x08
+_T_DICT = 0x09
+_T_BIGINT = 0x0A
+_T_RECORD = 0x10
+_T_RECORD_ID = 0x11
+_T_LOG_ENTRY = 0x12
+_T_APPEND_RESULT = 0x13
+_T_DRAFT = 0x14
+_T_MESSAGE = 0x1F
+
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+_I64U8 = struct.Struct(">qB")  # (toid, internal) pair in the Record layout
+
+_pack_u32 = _U32.pack
+_pack_i64 = _I64.pack
+_pack_f64 = _F64.pack
+_pack_i64u8 = _I64U8.pack
+_unpack_u32 = _U32.unpack_from
+_unpack_i64 = _I64.unpack_from
+_unpack_f64 = _F64.unpack_from
+_unpack_i64u8 = _I64U8.unpack_from
+
+# --------------------------------------------------------------------- #
+# Deterministic message-type table (shared derivation with the JSON codec)
+# --------------------------------------------------------------------- #
+
+#: Types with bespoke binary layouts; they never take the generic path.
+_SPECIAL_CLASSES = (Record, RecordId, LogEntry, AppendResult, DraftRecord)
+
+_MSG_NAMES: List[str] = sorted(
+    name
+    for name, cls in registered_message_types().items()
+    if cls not in _SPECIAL_CLASSES
+)
+_MSG_CLASSES: List[type] = [registered_message_types()[n] for n in _MSG_NAMES]
+
+#: class → (type index, attrgetter over the dataclass fields in order).
+_MSG_ENCODERS: Dict[type, Tuple[int, Callable[[Any], Any], bool]] = {}
+#: type index → (class, field count).
+_MSG_DECODERS: List[Tuple[type, int]] = []
+
+for _index, _cls in enumerate(_MSG_CLASSES):
+    _names = [f.name for f in dataclasses.fields(_cls)]
+    _single = len(_names) == 1
+    _MSG_ENCODERS[_cls] = (_index, attrgetter(*_names), _single)
+    _MSG_DECODERS.append((_cls, len(_names)))
+
+
+# --------------------------------------------------------------------- #
+# Encoding
+# --------------------------------------------------------------------- #
+
+
+def _enc_len(n: int, out: bytearray) -> None:
+    """Variable-length byte-run prefix: one byte under 255, else 0xFF+u32."""
+    if n < 255:
+        out.append(n)
+    else:
+        out.append(255)
+        out += _pack_u32(n)
+
+
+def _enc_str(value: str, out: bytearray) -> None:
+    data = value.encode("utf-8")
+    out.append(_T_STR)
+    n = len(data)
+    if n < 255:
+        out.append(n)
+    else:
+        out.append(255)
+        out += _pack_u32(n)
+    out += data
+
+
+def _enc_record_fields(record: Record, out: bytearray) -> None:
+    """Packed Record body shared by the Record and LogEntry layouts."""
+    rid = record.rid
+    host = rid.host.encode("utf-8")
+    _enc_len(len(host), out)
+    out += host
+    out += _pack_i64u8(rid.toid, 1 if record.internal else 0)
+    _encode_value(record.body, out)
+    tags = record.tags
+    _enc_len(len(tags), out)
+    for key, value in tags:
+        _encode_value(key, out)
+        _encode_value(value, out)
+    deps = record.deps
+    _enc_len(len(deps), out)
+    for dc, toid in deps:
+        data = dc.encode("utf-8")
+        _enc_len(len(data), out)
+        out += data
+        out += _pack_i64(toid)
+
+
+def _encode_value(value: Any, out: bytearray) -> None:
+    kind = type(value)
+    if kind is bytes:
+        out.append(_T_BYTES)
+        _enc_len(len(value), out)
+        out += value
+        return
+    if kind is str:
+        _enc_str(value, out)
+        return
+    if kind is bool:
+        out.append(_T_TRUE if value else _T_FALSE)
+        return
+    if kind is int:
+        try:
+            packed = _pack_i64(value)
+        except struct.error:
+            data = str(value).encode("ascii")
+            out.append(_T_BIGINT)
+            _enc_len(len(data), out)
+            out += data
+            return
+        out.append(_T_INT)
+        out += packed
+        return
+    if value is None:
+        out.append(_T_NONE)
+        return
+    if kind is float:
+        out.append(_T_FLOAT)
+        out += _pack_f64(value)
+        return
+    if kind is Record:
+        out.append(_T_RECORD)
+        _enc_record_fields(value, out)
+        return
+    if kind is LogEntry:
+        out.append(_T_LOG_ENTRY)
+        out += _pack_i64(value.lid)
+        _enc_record_fields(value.record, out)
+        return
+    if kind is DraftRecord:
+        out.append(_T_DRAFT)
+        client = value.client.encode("utf-8")
+        _enc_len(len(client), out)
+        out += client
+        out += _pack_i64(value.seq)
+        _encode_value(value.body, out)
+        tags = value.tags
+        _enc_len(len(tags), out)
+        for key, tag_value in tags:
+            _encode_value(key, out)
+            _encode_value(tag_value, out)
+        deps = value.deps
+        _enc_len(len(deps), out)
+        for dc, toid in deps:
+            data = dc.encode("utf-8")
+            _enc_len(len(data), out)
+            out += data
+            out += _pack_i64(toid)
+        return
+    if kind is RecordId:
+        out.append(_T_RECORD_ID)
+        host = value.host.encode("utf-8")
+        _enc_len(len(host), out)
+        out += host
+        out += _pack_i64(value.toid)
+        return
+    if kind is AppendResult:
+        out.append(_T_APPEND_RESULT)
+        host = value.rid.host.encode("utf-8")
+        _enc_len(len(host), out)
+        out += host
+        out += _pack_i64(value.rid.toid)
+        out += _pack_i64(value.lid)
+        return
+    if kind is list:
+        out.append(_T_LIST)
+        out += _pack_u32(len(value))
+        for item in value:
+            _encode_value(item, out)
+        return
+    if kind is tuple:
+        out.append(_T_TUPLE)
+        out += _pack_u32(len(value))
+        for item in value:
+            _encode_value(item, out)
+        return
+    if kind is dict:
+        out.append(_T_DICT)
+        out += _pack_u32(len(value))
+        for key, item in value.items():
+            _encode_value(key, out)
+            _encode_value(item, out)
+        return
+    entry = _MSG_ENCODERS.get(kind)
+    if entry is not None:
+        index, getter, single = entry
+        out.append(_T_MESSAGE)
+        out += _pack_u32(index)
+        if single:
+            _encode_value(getter(value), out)
+        else:
+            for field_value in getter(value):
+                _encode_value(field_value, out)
+        return
+    # Subclass tolerance mirrors the JSON codec's isinstance container path.
+    if isinstance(value, tuple):
+        out.append(_T_TUPLE)
+        out += _pack_u32(len(value))
+        for item in value:
+            _encode_value(item, out)
+        return
+    if isinstance(value, list):
+        out.append(_T_LIST)
+        out += _pack_u32(len(value))
+        for item in value:
+            _encode_value(item, out)
+        return
+    if isinstance(value, dict):
+        out.append(_T_DICT)
+        out += _pack_u32(len(value))
+        for key, item in value.items():
+            _encode_value(key, out)
+            _encode_value(item, out)
+        return
+    raise NetworkProtocolError(
+        f"cannot encode value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def encode_value_binary(value: Any) -> bytes:
+    """Encode any protocol value into the packed binary form."""
+    out = bytearray()
+    _encode_value(value, out)
+    return bytes(out)
+
+
+def encode_message_binary(message: Any) -> bytes:
+    """Encode a top-level protocol message (must be a registered type)."""
+    kind = type(message)
+    if kind not in _MSG_ENCODERS and kind not in _SPECIAL_CLASSES:
+        raise NetworkProtocolError(
+            f"{kind.__name__} is not a registered protocol message"
+        )
+    return encode_value_binary(message)
+
+
+# --------------------------------------------------------------------- #
+# Decoding
+# --------------------------------------------------------------------- #
+
+
+#: Datacenter-id bytes → interned str.  Host ids repeat constantly on the
+#: hot path (there are only a handful of datacenters), so one dict hit
+#: replaces a UTF-8 decode per occurrence.  Bounded: grows with the number
+#: of distinct datacenter names seen, not with traffic.
+_DC_CACHE: Dict[bytes, str] = {}
+
+
+def _dec_record_fields(buf: bytes, pos: int) -> Tuple[Record, int]:
+    unpack_u32 = _unpack_u32
+    unpack_i64 = _unpack_i64
+    decode_value = _decode_value
+    dc_cache = _DC_CACHE
+    set_ = _set
+
+    n = buf[pos]
+    pos += 1
+    if n == 255:
+        (n,) = unpack_u32(buf, pos)
+        pos += 4
+    raw = buf[pos : pos + n]
+    host = dc_cache.get(raw)
+    if host is None:
+        host = dc_cache[raw] = raw.decode("utf-8")
+    pos += n
+    toid, internal = _unpack_i64u8(buf, pos)
+    pos += 9
+    # Inline the common body shapes (bytes/str payloads) to skip a frame.
+    tag = buf[pos]
+    if tag == _T_BYTES:
+        n = buf[pos + 1]
+        pos += 2
+        if n == 255:
+            (n,) = unpack_u32(buf, pos)
+            pos += 4
+        body: Any = buf[pos : pos + n]
+        pos += n
+    elif tag == _T_STR:
+        n = buf[pos + 1]
+        pos += 2
+        if n == 255:
+            (n,) = unpack_u32(buf, pos)
+            pos += 4
+        body = buf[pos : pos + n].decode("utf-8")
+        pos += n
+    else:
+        body, pos = decode_value(buf, pos)
+    count = buf[pos]
+    pos += 1
+    if count == 255:
+        (count,) = unpack_u32(buf, pos)
+        pos += 4
+    if count:
+        tags = []
+        for _ in range(count):
+            # Tag keys are strings and values are usually small scalars;
+            # inline those shapes and fall back to the generic decoder.
+            tag = buf[pos]
+            if tag == _T_STR:
+                n = buf[pos + 1]
+                pos += 2
+                if n == 255:
+                    (n,) = unpack_u32(buf, pos)
+                    pos += 4
+                key: Any = buf[pos : pos + n].decode("utf-8")
+                pos += n
+            else:
+                key, pos = decode_value(buf, pos)
+            tag = buf[pos]
+            if tag == _T_INT:
+                (value,) = unpack_i64(buf, pos + 1)
+                pos += 9
+            elif tag == _T_STR:
+                n = buf[pos + 1]
+                pos += 2
+                if n == 255:
+                    (n,) = unpack_u32(buf, pos)
+                    pos += 4
+                value = buf[pos : pos + n].decode("utf-8")
+                pos += n
+            else:
+                value, pos = decode_value(buf, pos)
+            tags.append((key, value))
+        tags = tuple(tags)
+    else:
+        tags = ()
+    count = buf[pos]
+    pos += 1
+    if count == 255:
+        (count,) = unpack_u32(buf, pos)
+        pos += 4
+    if count:
+        deps = []
+        for _ in range(count):
+            n = buf[pos]
+            pos += 1
+            if n == 255:
+                (n,) = unpack_u32(buf, pos)
+                pos += 4
+            raw = buf[pos : pos + n]
+            dc = dc_cache.get(raw)
+            if dc is None:
+                dc = dc_cache[raw] = raw.decode("utf-8")
+            pos += n
+            (dep_toid,) = unpack_i64(buf, pos)
+            pos += 8
+            deps.append((dc, dep_toid))
+        deps = tuple(deps)
+    else:
+        deps = ()
+    if toid < 1:
+        raise NetworkProtocolError(f"TOIds start at 1, got {toid}")
+    rid = _new(RecordId)
+    set_(rid, "host", host)
+    set_(rid, "toid", toid)
+    record = _new(Record)
+    set_(record, "rid", rid)
+    set_(record, "body", body)
+    set_(record, "tags", tags)
+    set_(record, "deps", deps)
+    set_(record, "internal", internal == 1)
+    return record, pos
+
+
+def _decode_value(buf: bytes, pos: int) -> Tuple[Any, int]:
+    tag = buf[pos]
+    pos += 1
+    if tag == _T_INT:
+        (value,) = _unpack_i64(buf, pos)
+        return value, pos + 8
+    if tag == _T_STR:
+        n = buf[pos]
+        pos += 1
+        if n == 255:
+            (n,) = _unpack_u32(buf, pos)
+            pos += 4
+        return buf[pos : pos + n].decode("utf-8"), pos + n
+    if tag == _T_BYTES:
+        n = buf[pos]
+        pos += 1
+        if n == 255:
+            (n,) = _unpack_u32(buf, pos)
+            pos += 4
+        return buf[pos : pos + n], pos + n
+    if tag == _T_RECORD:
+        return _dec_record_fields(buf, pos)
+    if tag == _T_LOG_ENTRY:
+        (lid,) = _unpack_i64(buf, pos)
+        record, pos = _dec_record_fields(buf, pos + 8)
+        return _make_entry(lid, record), pos
+    if tag == _T_DRAFT:
+        n = buf[pos]
+        pos += 1
+        if n == 255:
+            (n,) = _unpack_u32(buf, pos)
+            pos += 4
+        client = buf[pos : pos + n].decode("utf-8")
+        pos += n
+        (seq,) = _unpack_i64(buf, pos)
+        pos += 8
+        body, pos = _decode_value(buf, pos)
+        count = buf[pos]
+        pos += 1
+        if count == 255:
+            (count,) = _unpack_u32(buf, pos)
+            pos += 4
+        tags = []
+        for _ in range(count):
+            key, pos = _decode_value(buf, pos)
+            value, pos = _decode_value(buf, pos)
+            tags.append((key, value))
+        count = buf[pos]
+        pos += 1
+        if count == 255:
+            (count,) = _unpack_u32(buf, pos)
+            pos += 4
+        deps = []
+        for _ in range(count):
+            n = buf[pos]
+            pos += 1
+            if n == 255:
+                (n,) = _unpack_u32(buf, pos)
+                pos += 4
+            dc = buf[pos : pos + n].decode("utf-8")
+            pos += n
+            (dep_toid,) = _unpack_i64(buf, pos)
+            pos += 8
+            deps.append((dc, dep_toid))
+        draft = DraftRecord(
+            client=client, seq=seq, body=body, tags=tuple(tags), deps=tuple(deps)
+        )
+        return draft, pos
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_FLOAT:
+        (value,) = _unpack_f64(buf, pos)
+        return value, pos + 8
+    if tag == _T_LIST or tag == _T_TUPLE:
+        (count,) = _unpack_u32(buf, pos)
+        pos += 4
+        items = []
+        for _ in range(count):
+            item, pos = _decode_value(buf, pos)
+            items.append(item)
+        return (tuple(items) if tag == _T_TUPLE else items), pos
+    if tag == _T_DICT:
+        (count,) = _unpack_u32(buf, pos)
+        pos += 4
+        result: Dict[Any, Any] = {}
+        for _ in range(count):
+            key, pos = _decode_value(buf, pos)
+            value, pos = _decode_value(buf, pos)
+            result[key] = value
+        return result, pos
+    if tag == _T_RECORD_ID:
+        n = buf[pos]
+        pos += 1
+        if n == 255:
+            (n,) = _unpack_u32(buf, pos)
+            pos += 4
+        host = buf[pos : pos + n].decode("utf-8")
+        pos += n
+        (toid,) = _unpack_i64(buf, pos)
+        return _make_rid(host, toid), pos + 8
+    if tag == _T_APPEND_RESULT:
+        n = buf[pos]
+        pos += 1
+        if n == 255:
+            (n,) = _unpack_u32(buf, pos)
+            pos += 4
+        host = buf[pos : pos + n].decode("utf-8")
+        pos += n
+        (toid,) = _unpack_i64(buf, pos)
+        pos += 8
+        (lid,) = _unpack_i64(buf, pos)
+        result = _new(AppendResult)
+        _set(result, "rid", _make_rid(host, toid))
+        _set(result, "lid", lid)
+        return result, pos + 8
+    if tag == _T_BIGINT:
+        n = buf[pos]
+        pos += 1
+        if n == 255:
+            (n,) = _unpack_u32(buf, pos)
+            pos += 4
+        return int(buf[pos : pos + n].decode("ascii")), pos + n
+    if tag == _T_MESSAGE:
+        (index,) = _unpack_u32(buf, pos)
+        pos += 4
+        if index >= len(_MSG_DECODERS):
+            raise NetworkProtocolError(f"unknown binary message index {index}")
+        cls, field_count = _MSG_DECODERS[index]
+        values = []
+        for _ in range(field_count):
+            value, pos = _decode_value(buf, pos)
+            values.append(value)
+        return cls(*values), pos
+    raise NetworkProtocolError(f"unknown binary value tag 0x{tag:02x}")
+
+
+def decode_value_binary(data: bytes, start: int = 0) -> Any:
+    """Inverse of :func:`encode_value_binary`.
+
+    ``start`` lets frame handling skip a prefix (the magic byte) without
+    copying the buffer.  The top-level Record/LogEntry shapes are dispatched
+    directly — they dominate hot-path traffic.
+    """
+    if not isinstance(data, bytes):
+        data = bytes(data)
+    try:
+        tag = data[start]
+        if tag == _T_RECORD:
+            value, pos = _dec_record_fields(data, start + 1)
+        elif tag == _T_LOG_ENTRY:
+            (lid,) = _unpack_i64(data, start + 1)
+            record, pos = _dec_record_fields(data, start + 9)
+            value = _make_entry(lid, record)
+        else:
+            value, pos = _decode_value(data, start)
+    except (IndexError, struct.error) as exc:
+        raise NetworkProtocolError(f"truncated binary value: {exc}") from exc
+    if pos != len(data):
+        raise NetworkProtocolError(
+            f"trailing garbage after binary value ({len(data) - pos} bytes)"
+        )
+    return value
+
+
+#: Inverse of :func:`encode_message_binary` (same routine: messages are
+#: just top-level values).
+decode_message_binary = decode_value_binary

@@ -16,11 +16,12 @@ from ..core.errors import ChariotsError, NetworkProtocolError, SessionError
 from ..core.record import AppendResult, LogEntry, ReadRules, Record
 from ..flstore.range_map import OwnershipPlan
 from .protocol import (
-    entry_from_dict,
+    CODEC_BINARY,
+    CODEC_JSON,
+    HELLO_ACK_TYPE,
+    HELLO_TYPE,
+    WIRES,
     read_frame,
-    record_to_dict,
-    result_from_dict,
-    rules_to_dict,
     write_frame,
 )
 
@@ -31,21 +32,61 @@ def _parse_address(address: str) -> Tuple[str, int]:
 
 
 class _Connection:
-    """One request/response TCP connection with lazy connect."""
+    """One request/response TCP connection with lazy connect.
 
-    def __init__(self, address: str) -> None:
+    ``codec`` is the *preferred* wire format.  On first connect the client
+    sends a ``hello`` frame offering it; servers that understand binary ack
+    it, older servers answer ``error`` and the connection silently stays on
+    tagged JSON — so either side may be upgraded first.
+    """
+
+    def __init__(self, address: str, codec: str = CODEC_BINARY) -> None:
         self.address = address
+        self._preferred = codec
+        self._codec = CODEC_JSON  # active codec; set by negotiation
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._lock = asyncio.Lock()
 
+    @property
+    def codec(self) -> str:
+        """The negotiated wire format (meaningful once connected)."""
+        return self._codec
+
+    async def _ensure_locked(self) -> None:
+        if self._writer is not None:
+            return
+        host, port = _parse_address(self.address)
+        self._reader, self._writer = await asyncio.open_connection(host, port)
+        self._codec = CODEC_JSON
+        if self._preferred != CODEC_JSON:
+            await write_frame(
+                self._writer,
+                {"type": HELLO_TYPE, "codecs": [self._preferred, CODEC_JSON]},
+            )
+            response = await read_frame(self._reader)
+            if response is None:
+                raise NetworkProtocolError(
+                    f"server {self.address} closed the connection"
+                )
+            if response.get("type") == HELLO_ACK_TYPE:
+                chosen = response.get("codec", CODEC_JSON)
+                if chosen in WIRES:
+                    self._codec = chosen
+            # Any other reply (e.g. a pre-binary server's "error") means
+            # the server doesn't negotiate; stay on JSON.
+
+    async def wire(self):
+        """Connect (and negotiate) if needed; return the active wire format."""
+        async with self._lock:
+            await self._ensure_locked()
+        return WIRES[self._codec]
+
     async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
         async with self._lock:
-            if self._writer is None:
-                host, port = _parse_address(self.address)
-                self._reader, self._writer = await asyncio.open_connection(host, port)
+            await self._ensure_locked()
             assert self._reader is not None and self._writer is not None
-            await write_frame(self._writer, message)
+            await write_frame(self._writer, message, codec=self._codec)
             response = await read_frame(self._reader)
         if response is None:
             raise NetworkProtocolError(f"server {self.address} closed the connection")
@@ -65,10 +106,21 @@ class _Connection:
 
 
 class AsyncFLStoreClient:
-    """Networked application client for FLStore over TCP."""
+    """Networked application client for FLStore over TCP.
 
-    def __init__(self, controller_address: str, client_id: str = "net-client") -> None:
-        self.controller = _Connection(controller_address)
+    ``codec`` selects the preferred wire format ("binary" by default —
+    negotiated per connection, falling back to "json" against servers that
+    don't speak it; pass "json" to force the legacy format).
+    """
+
+    def __init__(
+        self,
+        controller_address: str,
+        client_id: str = "net-client",
+        codec: str = CODEC_BINARY,
+    ) -> None:
+        self.codec = codec
+        self.controller = _Connection(controller_address, codec=codec)
         self.client_id = client_id
         self._maintainers: Dict[str, _Connection] = {}
         self._indexers: Dict[str, _Connection] = {}
@@ -84,10 +136,12 @@ class AsyncFLStoreClient:
     async def connect(self) -> None:
         info = await self.controller.request({"type": "session", "request_id": 1})
         self._maintainers = {
-            name: _Connection(address) for name, address in info["maintainers"].items()
+            name: _Connection(address, codec=self.codec)
+            for name, address in info["maintainers"].items()
         }
         self._indexers = {
-            name: _Connection(address) for name, address in info["indexers"].items()
+            name: _Connection(address, codec=self.codec)
+            for name, address in info["indexers"].items()
         }
         self._indexer_names = sorted(self._indexers)
         epochs = info["epochs"]
@@ -129,22 +183,26 @@ class AsyncFLStoreClient:
         self._require_session()
         assert self._maintainer_cycle is not None
         target = next(self._maintainer_cycle)
-        response = await self._maintainers[target].request(
+        conn = self._maintainers[target]
+        wire = await conn.wire()
+        response = await conn.request(
             {
                 "type": "append",
-                "records": [record_to_dict(r) for r in records],
+                "records": [wire.pack_record(r) for r in records],
                 "min_lid": min_lid,
             }
         )
         if response["type"] == "append_deferred":
             raise ChariotsError("append deferred on its minimum-LId bound; retry later")
-        return [result_from_dict(r) for r in response["results"]]
+        return [wire.unpack_result(r) for r in response["results"]]
 
     async def read_lid(self, lid: int) -> LogEntry:
         plan = self._require_session()
         owner = plan.owner(lid)
-        response = await self._maintainers[owner].request({"type": "read_lid", "lid": lid})
-        return entry_from_dict(response["entries"][0])
+        conn = self._maintainers[owner]
+        wire = await conn.wire()
+        response = await conn.request({"type": "read_lid", "lid": lid})
+        return wire.unpack_entry(response["entries"][0])
 
     async def read(self, rules: ReadRules) -> List[LogEntry]:
         self._require_session()
@@ -152,10 +210,11 @@ class AsyncFLStoreClient:
             return await self._read_via_index(rules)
         entries: List[LogEntry] = []
         for conn in self._maintainers.values():
+            wire = await conn.wire()
             response = await conn.request(
-                {"type": "read_rules", "rules": rules_to_dict(rules)}
+                {"type": "read_rules", "rules": wire.pack_rules(rules)}
             )
-            entries.extend(entry_from_dict(e) for e in response["entries"])
+            entries.extend(wire.unpack_entry(e) for e in response["entries"])
         entries.sort(key=lambda e: e.lid, reverse=rules.most_recent)
         if rules.limit is not None:
             entries = entries[: rules.limit]
@@ -179,8 +238,10 @@ class AsyncFLStoreClient:
         entries = []
         for lid in response["lids"]:
             owner = plan.owner(lid)
-            reply = await self._maintainers[owner].request({"type": "read_lid", "lid": lid})
-            entries.append(entry_from_dict(reply["entries"][0]))
+            conn = self._maintainers[owner]
+            wire = await conn.wire()
+            reply = await conn.request({"type": "read_lid", "lid": lid})
+            entries.append(wire.unpack_entry(reply["entries"][0]))
         return [e for e in entries if rules.matches(e)]
 
     async def head(self) -> int:

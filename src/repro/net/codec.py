@@ -201,6 +201,20 @@ def decode_value(value: Any) -> Any:
     return cls(**kwargs)
 
 
+def registered_message_types() -> Dict[str, Type]:
+    """Name → class for every type that may appear at the top of a frame.
+
+    The binary codec derives its deterministic type table from this registry
+    so both codecs always agree on what is encodable.
+    """
+    return dict(_BY_NAME)
+
+
+def special_value_types() -> Dict[str, Type]:
+    """Name → class for the core value types with bespoke encodings."""
+    return {name: cls for name, (cls, _e, _d) in _SPECIALS.items()}
+
+
 def encode_message(message: Any) -> Dict[str, Any]:
     """Encode a top-level protocol message (must be a registered type)."""
     encoded = encode_value(message)

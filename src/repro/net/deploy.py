@@ -110,16 +110,17 @@ class FLStoreNetDeployment:
         from .protocol import write_frame  # local import avoids a cycle
 
         async with conn._lock:
-            if conn._writer is None:
-                from .client import _parse_address
+            await conn._ensure_locked()
+            await write_frame(conn._writer, message, codec=conn.codec)
 
-                host, port = _parse_address(conn.address)
-                conn._reader, conn._writer = await asyncio.open_connection(host, port)
-            await write_frame(conn._writer, message)
-
-    async def client(self, client_id: str = "net-client") -> AsyncFLStoreClient:
+    async def client(
+        self, client_id: str = "net-client", codec: str = "binary"
+    ) -> AsyncFLStoreClient:
+        """Create a connected client (``codec`` as in AsyncFLStoreClient)."""
         assert self.controller is not None, "deployment not started"
-        client = AsyncFLStoreClient(self.controller.address, client_id=client_id)
+        client = AsyncFLStoreClient(
+            self.controller.address, client_id=client_id, codec=codec
+        )
         await client.connect()
         return client
 

@@ -1,9 +1,21 @@
-"""Wire protocol for the asyncio FLStore deployment: length-prefixed JSON.
+"""Wire protocol for the asyncio FLStore deployment.
 
-Frames are ``4-byte big-endian length || UTF-8 JSON body``.  Every message
-is a JSON object with a ``"type"`` discriminator.  Records must have
-JSON-serialisable bodies/tags (the in-process runtimes have no such
-restriction; this constraint applies only to TCP deployments).
+Frames are ``4-byte big-endian length || body``.  Two body formats share
+the framing and are distinguished by the first body byte:
+
+* **Tagged JSON** (the default): a UTF-8 JSON object with a ``"type"``
+  discriminator.  JSON objects always start with ``{`` (0x7B).  Records
+  must have JSON-serialisable bodies/tags in this format.
+* **Binary**: ``0xC5`` (:data:`~repro.net.binary_codec.BINARY_MAGIC`)
+  followed by a :mod:`~repro.net.binary_codec` value that decodes to the
+  same typed message dict — except hot payloads (records, entries,
+  results, rules) travel as native objects instead of JSON dicts.
+
+Servers always reply in the format the request arrived in, so each frame
+is self-describing and no connection state is needed on the server side.
+Clients discover whether a server speaks binary with a ``hello``
+handshake (see :data:`HELLO_TYPE`); servers that predate the binary
+codec answer ``error``, and the client silently stays on JSON.
 """
 
 from __future__ import annotations
@@ -15,9 +27,21 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.errors import NetworkProtocolError
 from ..core.record import AppendResult, LogEntry, ReadRules, Record, RecordId
+from .binary_codec import BINARY_MAGIC, decode_value_binary, encode_value_binary
+from .codec import decode_value, encode_value
 
 _LENGTH = struct.Struct(">I")
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Codec names used in frames, negotiation, and client/server options.
+CODEC_JSON = "json"
+CODEC_BINARY = "binary"
+
+#: The negotiation request/reply types (always sent as JSON frames).
+HELLO_TYPE = "hello"
+HELLO_ACK_TYPE = "hello_ack"
+
+_MAGIC_BYTE = bytes([BINARY_MAGIC])
 
 
 # --------------------------------------------------------------------- #
@@ -26,11 +50,15 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 
 def record_to_dict(record: Record) -> Dict[str, Any]:
+    # Bodies and tag values go through the tagged-JSON value codec: scalars
+    # stay verbatim (identical frames to pre-binary peers), while values only
+    # a binary peer can write into the log (bytes, tuples, non-string dict
+    # keys) get tagged forms instead of crashing ``json.dumps``.
     return {
         "host": record.host,
         "toid": record.toid,
-        "body": record.body,
-        "tags": [[k, v] for k, v in record.tags],
+        "body": encode_value(record.body),
+        "tags": [[k, encode_value(v)] for k, v in record.tags],
         "deps": [[dc, t] for dc, t in record.deps],
         "internal": record.internal,
     }
@@ -39,8 +67,8 @@ def record_to_dict(record: Record) -> Dict[str, Any]:
 def record_from_dict(data: Dict[str, Any]) -> Record:
     return Record(
         rid=RecordId(data["host"], data["toid"]),
-        body=data["body"],
-        tags=tuple((k, v) for k, v in data.get("tags", [])),
+        body=decode_value(data["body"]),
+        tags=tuple((k, decode_value(v)) for k, v in data.get("tags", [])),
         deps=tuple((dc, t) for dc, t in data.get("deps", [])),
         internal=bool(data.get("internal", False)),
     )
@@ -95,6 +123,57 @@ def rules_from_dict(data: Dict[str, Any]) -> ReadRules:
 
 
 # --------------------------------------------------------------------- #
+# Wire formats
+# --------------------------------------------------------------------- #
+
+
+class _JsonWire:
+    """Pack/unpack hot payloads as plain JSON dicts (the legacy format)."""
+
+    name = CODEC_JSON
+    pack_record = staticmethod(record_to_dict)
+    pack_entry = staticmethod(entry_to_dict)
+    pack_result = staticmethod(result_to_dict)
+    pack_rules = staticmethod(rules_to_dict)
+
+    @staticmethod
+    def unpack_record(data: Any) -> Record:
+        return data if type(data) is Record else record_from_dict(data)
+
+    @staticmethod
+    def unpack_entry(data: Any) -> LogEntry:
+        return data if type(data) is LogEntry else entry_from_dict(data)
+
+    @staticmethod
+    def unpack_result(data: Any) -> AppendResult:
+        return data if type(data) is AppendResult else result_from_dict(data)
+
+    @staticmethod
+    def unpack_rules(data: Any) -> ReadRules:
+        return data if type(data) is ReadRules else rules_from_dict(data)
+
+
+class _BinaryWire(_JsonWire):
+    """Hot payloads travel as native objects; the codec packs them itself."""
+
+    name = CODEC_BINARY
+
+    @staticmethod
+    def _identity(value: Any) -> Any:
+        return value
+
+    pack_record = _identity
+    pack_entry = _identity
+    pack_result = _identity
+    pack_rules = _identity
+
+
+WIRE_JSON = _JsonWire()
+WIRE_BINARY = _BinaryWire()
+WIRES: Dict[str, _JsonWire] = {CODEC_JSON: WIRE_JSON, CODEC_BINARY: WIRE_BINARY}
+
+
+# --------------------------------------------------------------------- #
 # Framing
 # --------------------------------------------------------------------- #
 
@@ -106,7 +185,25 @@ def encode_frame(message: Dict[str, Any]) -> bytes:
     return _LENGTH.pack(len(body)) + body
 
 
+def encode_frame_binary(message: Dict[str, Any]) -> bytes:
+    body = encode_value_binary(message)
+    if len(body) + 1 > MAX_FRAME_BYTES:
+        raise NetworkProtocolError(f"frame too large: {len(body) + 1} bytes")
+    return _LENGTH.pack(len(body) + 1) + _MAGIC_BYTE + body
+
+
+def encode_frame_as(message: Dict[str, Any], codec: str) -> bytes:
+    if codec == CODEC_BINARY:
+        return encode_frame_binary(message)
+    return encode_frame(message)
+
+
 def decode_body(body: bytes) -> Dict[str, Any]:
+    if body[:1] == _MAGIC_BYTE:
+        message = decode_value_binary(body, 1)
+        if not isinstance(message, dict) or "type" not in message:
+            raise NetworkProtocolError("frame is not a typed message object")
+        return message
     try:
         message = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -116,8 +213,7 @@ def decode_body(body: bytes) -> Dict[str, Any]:
     return message
 
 
-async def read_frame(reader: StreamReader) -> Optional[Dict[str, Any]]:
-    """Read one frame; returns ``None`` on clean EOF."""
+async def _read_body(reader: StreamReader) -> Optional[bytes]:
     try:
         header = await reader.readexactly(_LENGTH.size)
     except IncompleteReadError as exc:
@@ -128,12 +224,36 @@ async def read_frame(reader: StreamReader) -> Optional[Dict[str, Any]]:
     if length > MAX_FRAME_BYTES:
         raise NetworkProtocolError(f"declared frame length {length} too large")
     try:
-        body = await reader.readexactly(length)
+        return await reader.readexactly(length)
     except IncompleteReadError as exc:
         raise NetworkProtocolError("truncated frame body") from exc
+
+
+async def read_frame(reader: StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one frame (either format); returns ``None`` on clean EOF."""
+    body = await _read_body(reader)
+    if body is None:
+        return None
     return decode_body(body)
 
 
-async def write_frame(writer: StreamWriter, message: Dict[str, Any]) -> None:
-    writer.write(encode_frame(message))
+async def read_frame_fmt(
+    reader: StreamReader,
+) -> Optional[Tuple[Dict[str, Any], str]]:
+    """Like :func:`read_frame` but also reports the arrival format.
+
+    Servers use the reported codec name to mirror the request's format in
+    their reply.
+    """
+    body = await _read_body(reader)
+    if body is None:
+        return None
+    codec = CODEC_BINARY if body[:1] == _MAGIC_BYTE else CODEC_JSON
+    return decode_body(body), codec
+
+
+async def write_frame(
+    writer: StreamWriter, message: Dict[str, Any], codec: str = CODEC_JSON
+) -> None:
+    writer.write(encode_frame_as(message, codec))
     await writer.drain()

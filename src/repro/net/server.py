@@ -15,18 +15,20 @@ import asyncio
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.config import FLStoreConfig
-from ..core.errors import ChariotsError
+from ..core.errors import ChariotsError, NetworkProtocolError
 from ..flstore.controller import ControllerCore
 from ..flstore.indexer import IndexerCore
 from ..flstore.maintainer import MaintainerCore
 from ..flstore.messages import GossipHL
 from ..flstore.range_map import OwnershipPlan
 from .protocol import (
-    entry_to_dict,
-    read_frame,
-    record_from_dict,
-    result_to_dict,
-    rules_from_dict,
+    CODEC_BINARY,
+    CODEC_JSON,
+    HELLO_ACK_TYPE,
+    HELLO_TYPE,
+    WIRE_JSON,
+    WIRES,
+    read_frame_fmt,
     write_frame,
 )
 
@@ -57,16 +59,39 @@ class _BaseServer:
     async def _serve(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         try:
             while True:
-                request = await read_frame(reader)
-                if request is None:
+                arrived = await read_frame_fmt(reader)
+                if arrived is None:
                     break
+                request, codec = arrived
+                if request["type"] == HELLO_TYPE:
+                    # Codec negotiation: advertise binary when the client
+                    # offers it.  The ack itself always travels as JSON so
+                    # pre-binary clients could parse it.
+                    offered = request.get("codecs") or []
+                    chosen = CODEC_BINARY if CODEC_BINARY in offered else CODEC_JSON
+                    await write_frame(writer, {"type": HELLO_ACK_TYPE, "codec": chosen})
+                    continue
+                wire = WIRES.get(codec, WIRE_JSON)
                 try:
-                    response = await self.handle(request)
+                    response = await self.handle(request, wire)
                 except ChariotsError as exc:
                     response = {"type": "error", "error": str(exc)}
                 if response is not None:
-                    await write_frame(writer, response)
+                    try:
+                        await write_frame(writer, response, codec=codec)
+                    except (TypeError, ValueError, ChariotsError) as exc:
+                        # A reply this codec cannot represent must not kill
+                        # the connection: answer with an error frame instead.
+                        await write_frame(
+                            writer,
+                            {"type": "error", "error": f"unencodable reply: {exc}"},
+                            codec=codec,
+                        )
         except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except NetworkProtocolError:
+            # Malformed frame: framing can no longer be trusted on this
+            # connection, so drop it quietly rather than logging a crash.
             pass
         finally:
             writer.close()
@@ -75,7 +100,7 @@ class _BaseServer:
             except ConnectionError:  # pragma: no cover - platform dependent
                 pass
 
-    async def handle(self, request: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    async def handle(self, request: Dict[str, Any], wire=WIRE_JSON) -> Optional[Dict[str, Any]]:
         raise NotImplementedError
 
 
@@ -133,23 +158,23 @@ class MaintainerServer(_BaseServer):
                 except ConnectionError:
                     continue  # peer down; gossip is best-effort
 
-    async def handle(self, request: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    async def handle(self, request: Dict[str, Any], wire=WIRE_JSON) -> Optional[Dict[str, Any]]:
         kind = request["type"]
         if kind == "append":
-            records = [record_from_dict(r) for r in request["records"]]
+            records = [wire.unpack_record(r) for r in request["records"]]
             results = self.core.append(records, min_lid=request.get("min_lid"))
             if results is None:
                 return {"type": "append_deferred"}
             return {
                 "type": "append_reply",
-                "results": [result_to_dict(r) for r in results],
+                "results": [wire.pack_result(r) for r in results],
             }
         if kind == "read_lid":
             entry = self.core.get(request["lid"])
-            return {"type": "read_reply", "entries": [entry_to_dict(entry)]}
+            return {"type": "read_reply", "entries": [wire.pack_entry(entry)]}
         if kind == "read_rules":
-            entries = self.core.read(rules_from_dict(request["rules"]))
-            return {"type": "read_reply", "entries": [entry_to_dict(e) for e in entries]}
+            entries = self.core.read(wire.unpack_rules(request["rules"]))
+            return {"type": "read_reply", "entries": [wire.pack_entry(e) for e in entries]}
         if kind == "head":
             return {"type": "head_reply", "head_lid": self.core.head_of_log()}
         if kind == "gossip":
@@ -167,7 +192,7 @@ class IndexerServer(_BaseServer):
         super().__init__(host, port)
         self.core = IndexerCore(name)
 
-    async def handle(self, request: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    async def handle(self, request: Dict[str, Any], wire=WIRE_JSON) -> Optional[Dict[str, Any]]:
         kind = request["type"]
         if kind == "index_update":
             self.core.add_many([(k, v, lid) for k, v, lid in request["postings"]])
@@ -202,7 +227,7 @@ class ControllerServer(_BaseServer):
         self.maintainer_addresses = dict(maintainer_addresses)
         self.indexer_addresses = dict(indexer_addresses or {})
 
-    async def handle(self, request: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    async def handle(self, request: Dict[str, Any], wire=WIRE_JSON) -> Optional[Dict[str, Any]]:
         if request["type"] == "session":
             info = self.core.session_info(request.get("request_id", 0))
             return {

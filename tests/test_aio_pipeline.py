@@ -15,56 +15,110 @@ def run(coro):
     return asyncio.run(coro)
 
 
-class TestCodecCoverage:
-    def test_every_pipeline_message_round_trips(self):
-        """Encode/decode symmetry for one instance of each message class."""
-        from repro.baseline.sequencer import ReservedRange, SequencerRequest
-        from repro.chariots import messages as cmsg
-        from repro.core import Record
-        from repro.core.record import LogEntry
-        from repro.flstore import messages as fmsg
+def _codec_samples():
+    """One (or more) instances of every registered protocol message type.
 
-        record = Record.make("A", 1, {"k": [1, (2, 3)]}, tags={"t": 1}, deps={"B": 2})
-        entry = LogEntry(4, record)
-        samples = [
-            fmsg.AppendRequest(1, [record], min_lid=3, want_results=False),
-            fmsg.AppendReply(1, [], count=5, error=None),
-            fmsg.PlaceRecords([(0, record)]),
-            fmsg.ReadRequest(2, lid=1),
-            fmsg.ReadRequest(3, rules=ReadRules(tag_key="t", limit=2)),
-            fmsg.ReadReply(2, [entry]),
-            fmsg.ReadNewRequest(4, after_lid=7, limit=10),
-            fmsg.ReadNewReply(4, [entry], upto=4),
-            fmsg.GossipHL("m0", 12),
-            fmsg.HeadRequest(5),
-            fmsg.HeadReply(5, 11),
-            fmsg.IndexUpdate([("k", 1, 0)]),
-            fmsg.LookupRequest(6, "k", tag_value=1, limit=3),
-            fmsg.LookupReply(6, [0, 2]),
-            fmsg.SessionRequest(7),
-            fmsg.SessionInfo(7, ["m0"], ["ix"], 10, 3, [(0, 10, ("m0",))], "m0"),
-            fmsg.LoadReport("m0", 100, 2.5),
-            fmsg.TruncateBelow({"A": 3}, keep_from_lid=9),
-            fmsg.PruneIndexBelow(4),
-            fmsg.GcReport("m0", 5),
-            cmsg.DraftRecord("c", 1, "body", tags=(("t", 1),), deps=(("B", 2),)),
-            cmsg.DraftBatch([cmsg.DraftRecord("c", 1, None)]),
-            cmsg.FilterBatch(drafts=[cmsg.DraftRecord("c", 1, 1)], externals=[record]),
-            cmsg.AdmittedBatch(externals=[record]),
-            cmsg.TokenPass(cmsg.Token({"A": 1}, 2, [record])),
-            cmsg.DraftCommitted("c", 1, record.rid, 0),
-            cmsg.DraftCommitBatch([cmsg.DraftCommitted("c", 1, record.rid, 0)]),
-            cmsg.FrontierUpdate({"A": 1}, 2),
-            cmsg.ReplicationShipment("A", "s", "m", 1, [record], {"A": 1}, 0,
-                                     atable={"A": {"A": 1}}),
-            cmsg.ShipmentAck("m", 1, 0, "B"),
-            cmsg.PeerVector("B", {"A": 1}, matrix={"B": {"A": 1}}),
-            cmsg.AtableSnapshot({"A": {"A": 1}}),
-            SequencerRequest(1, 4),
-            ReservedRange(1, 0, 4),
-        ]
-        for message in samples:
-            assert decode_message(encode_message(message)) == message, message
+    Bodies exercise the awkward value shapes both codecs must preserve:
+    nested tuples-in-lists, bytes, non-string dict keys, large ints.
+    """
+    from repro.baseline.sequencer import ReservedRange, SequencerRequest
+    from repro.chariots import messages as cmsg
+    from repro.core import ReadRules, Record
+    from repro.core.record import AppendResult, LogEntry, RecordId
+    from repro.flstore import messages as fmsg
+
+    record = Record.make("A", 1, {"k": [1, (2, 3)]}, tags={"t": 1}, deps={"B": 2})
+    nested = Record.make(
+        "B",
+        7,
+        {3: "int-key", "blob": b"\x00\xff", "deep": [{"x": (1, [2])}, None, 2**72]},
+        tags={"t": -1.5},
+    )
+    entry = LogEntry(4, record)
+    return [
+        record,
+        nested,
+        record.rid,
+        RecordId("dc/with:odd chars", 2**40),
+        entry,
+        AppendResult(record.rid, 9),
+        ReadRules(min_lid=2, tag_key="t", tag_value=1, limit=5),
+        cmsg.Token({"A": 1, "B": 3}, 2, [nested]),
+        *_codec_message_samples(record, nested, entry, cmsg, fmsg),
+        SequencerRequest(1, 4),
+        ReservedRange(1, 0, 4),
+    ]
+
+
+def _codec_message_samples(record, nested, entry, cmsg, fmsg):
+    from repro.core import ReadRules
+    from repro.core.record import AppendResult
+
+    return [
+        fmsg.AppendRequest(1, [record, nested], min_lid=3, want_results=False),
+        fmsg.AppendReply(1, [AppendResult(record.rid, 3)], count=5, error=None),
+        fmsg.PlaceRecords([(0, record)]),
+        fmsg.ReadRequest(2, lid=1),
+        fmsg.ReadRequest(3, rules=ReadRules(tag_key="t", limit=2)),
+        fmsg.ReadReply(2, [entry]),
+        fmsg.ReadNewRequest(4, after_lid=7, limit=10),
+        fmsg.ReadNewReply(4, [entry], upto=4),
+        fmsg.GossipHL("m0", 12),
+        fmsg.HeadRequest(5),
+        fmsg.HeadReply(5, 11),
+        fmsg.IndexUpdate([("k", 1, 0)]),
+        fmsg.LookupRequest(6, "k", tag_value=1, limit=3),
+        fmsg.LookupReply(6, [0, 2]),
+        fmsg.SessionRequest(7),
+        fmsg.SessionInfo(7, ["m0"], ["ix"], 10, 3, [(0, 10, ("m0",))], "m0"),
+        fmsg.LoadReport("m0", 100, 2.5),
+        fmsg.TruncateBelow({"A": 3}, keep_from_lid=9),
+        fmsg.PruneIndexBelow(4),
+        fmsg.GcReport("m0", 5),
+        cmsg.DraftRecord("c", 1, "body", tags=(("t", 1),), deps=(("B", 2),)),
+        cmsg.DraftBatch([cmsg.DraftRecord("c", 1, None)]),
+        cmsg.FilterBatch(drafts=[cmsg.DraftRecord("c", 1, 1)], externals=[record]),
+        cmsg.AdmittedBatch(externals=[record]),
+        cmsg.TokenPass(cmsg.Token({"A": 1}, 2, [record])),
+        cmsg.DraftCommitted("c", 1, record.rid, 0),
+        cmsg.DraftCommitBatch([cmsg.DraftCommitted("c", 1, record.rid, 0)]),
+        cmsg.FrontierUpdate({"A": 1}, 2),
+        cmsg.ReplicationShipment("A", "s", "m", 1, [record], {"A": 1}, 0,
+                                 atable={"A": {"A": 1}}),
+        cmsg.ShipmentAck("m", 1, 0, "B"),
+        cmsg.PeerVector("B", {"A": 1}, matrix={"B": {"A": 1}}),
+        cmsg.AtableSnapshot({"A": {"A": 1}}),
+    ]
+
+
+class TestCodecCoverage:
+    def test_samples_cover_the_whole_registry(self):
+        """Every registered message type (and special value type) has a
+        sample — adding a protocol message without one fails here."""
+        from repro.net.codec import registered_message_types, special_value_types
+
+        sampled = {type(m).__name__ for m in _codec_samples()}
+        registry = set(registered_message_types()) | set(special_value_types())
+        assert registry <= sampled, sorted(registry - sampled)
+
+    def test_every_message_round_trips_as_json(self):
+        """Full wire trip: tagged JSON must survive json.dumps/loads."""
+        import json as jsonlib
+
+        for message in _codec_samples():
+            wire = jsonlib.dumps(encode_message(message))
+            assert decode_message(jsonlib.loads(wire)) == message, message
+
+    def test_every_message_round_trips_as_binary(self):
+        from repro.net.binary_codec import (
+            decode_message_binary,
+            encode_message_binary,
+        )
+
+        for message in _codec_samples():
+            wire = encode_message_binary(message)
+            assert isinstance(wire, bytes)
+            assert decode_message_binary(wire) == message, message
 
 
 class TestPipelineOverSockets:

@@ -1,13 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench-smoke bench-reports
+.PHONY: check test chaos bench-smoke bench-reports
 
 ## Tier-1 gate: the full test suite plus a seconds-scale bench smoke.
 check: test bench-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Seeded chaos + resilience suites, including the slow soak variants that
+## tier-1 skips (the command-line -m overrides the addopts marker filter).
+chaos:
+	$(PYTHON) -m pytest tests/test_chaos.py tests/test_resilience.py -q -m "slow or not slow"
 
 ## Quick sanity pass over the perf harness: tiny batches, one repeat —
 ## catches import/shape breakage in ~5 s without measuring anything real.

@@ -1,0 +1,22 @@
+"""Chaos layer: deterministic fault injection across every transport.
+
+``repro.chaos`` creates the lossy, reordering, partitioning channels the
+protocol claims to survive (§1's component/datacenter failures; the
+Replicated-Dictionary lineage of the ATable assumes them) and injects them
+into the runtimes behind zero-overhead no-op defaults:
+
+* :class:`FaultPlan` — seeded message faults, crashes, and partitions for
+  ``LocalRuntime`` / ``SimRuntime`` / ``AioRuntime`` sends;
+* :class:`NetChaos` — seeded request-level faults for the asyncio servers.
+"""
+
+from .netchaos import NetChaos
+from .plan import CrashEvent, FaultPlan, FaultRule, PartitionEvent
+
+__all__ = [
+    "CrashEvent",
+    "FaultPlan",
+    "FaultRule",
+    "NetChaos",
+    "PartitionEvent",
+]

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.config import DeploymentSpec, FLStoreConfig, PipelineConfig
+from ..core.errors import ConfigurationError
 from ..core.record import DatacenterId, KnowledgeVector, LogEntry
 from ..flstore.controller import Controller
 from ..flstore.indexer import Indexer
@@ -22,6 +23,7 @@ from ..flstore.maintainer import LogMaintainer
 from ..flstore.range_map import OwnershipPlan
 from ..runtime.actor import Actor
 from ..runtime.local import BaseRuntime
+from ..runtime.supervisor import Supervisor
 from .batcher import Batcher
 from .client import BlockingChariotsClient, ChariotsClient
 from .filters import FilterMap, FilterStage
@@ -179,6 +181,7 @@ class DatacenterPipeline:
         self.batcher_names = batcher_names
         self.receiver_names = receiver_names
         self._client_count = 0
+        self.journals: Optional[Dict[str, MemoryJournal]] = None
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -209,6 +212,69 @@ class DatacenterPipeline:
         """Point this datacenter's senders at ``peer``'s receivers."""
         for sender in self.senders:
             sender.add_peer(peer.dc_id, peer.receiver_names)
+
+    # ------------------------------------------------------------------ #
+    # Resilience: journaling + supervised crash recovery
+    # ------------------------------------------------------------------ #
+
+    def attach_journals(self) -> Dict[str, "MemoryJournal"]:
+        """Give every maintainer an in-memory journal (idempotent).
+
+        Call before traffic flows so the journal covers every placement —
+        it is what a supervised restart replays.
+        """
+        # Imported lazily: journal serialisation pulls in the wire codecs,
+        # which import this package's message types back.
+        from ..flstore.journal import MemoryJournal
+
+        if self.journals is None:
+            self.journals = {}
+            for maintainer in self.maintainers:
+                journal = MemoryJournal()
+                maintainer.core.set_journal(journal)
+                self.journals[maintainer.name] = journal
+        return self.journals
+
+    def recover_maintainer(self, name: str) -> LogMaintainer:
+        """Rebuild the maintainer ``name`` from its journal (not registered).
+
+        The replacement resumes exactly where the crashed maintainer's
+        journal ends — same storage, same assignment cursor, same postings —
+        so no LId is lost or handed out twice.
+        """
+        from ..flstore.journal import recover_maintainer_core
+
+        if self.journals is None or name not in self.journals:
+            raise ConfigurationError(f"no journal attached for maintainer {name!r}")
+        journal = self.journals[name]
+        core = recover_maintainer_core(
+            name,
+            self.plan,
+            journal.replay(),
+            config=self.flstore_config,
+            new_journal=journal,
+        )
+        replacement = LogMaintainer(
+            name,
+            self.plan,
+            peers=[m.name for m in self.maintainers],
+            indexers=[ix.name for ix in self.indexers],
+            config=self.flstore_config,
+        )
+        replacement.core = core
+        for i, maintainer in enumerate(self.maintainers):
+            if maintainer.name == name:
+                self.maintainers[i] = replacement
+        return replacement
+
+    def supervise(self, supervisor: Supervisor) -> None:
+        """Register journal-driven restart of every maintainer with ``supervisor``."""
+        self.attach_journals()
+        for maintainer in self.maintainers:
+            supervisor.supervise(
+                maintainer.name,
+                lambda name=maintainer.name: self.recover_maintainer(name),
+            )
 
     # ------------------------------------------------------------------ #
     # Clients
@@ -308,6 +374,25 @@ class ChariotsDeployment:
 
     def blocking_client(self, dc: DatacenterId, name: Optional[str] = None) -> BlockingChariotsClient:
         return self.pipelines[dc].blocking_client(name)
+
+    def supervise(
+        self,
+        supervisor: Optional[Supervisor] = None,
+        check_interval: float = 0.05,
+    ) -> Supervisor:
+        """Attach journals everywhere and supervise every log maintainer.
+
+        Creates (and registers) a :class:`~repro.runtime.supervisor.Supervisor`
+        unless one is passed in.  Call before running traffic so the journals
+        are complete.
+        """
+        if supervisor is None:
+            supervisor = Supervisor("supervisor", check_interval=check_interval)
+        if supervisor.runtime is None:
+            self.runtime.register(supervisor)
+        for pipe in self.pipelines.values():
+            pipe.supervise(supervisor)
+        return supervisor
 
     # -- convergence helpers (tests) -------------------------------------- #
 

@@ -10,16 +10,26 @@ deliveries are harmless because the remote filters admit exactly once.
 Every shipment also carries this datacenter's latest knowledge vector (from
 the queues' ``FrontierUpdate`` broadcasts); the receiving side feeds it into
 its Awareness Table, which drives garbage collection (§6.1).
+
+Resilience: unacknowledged shipments are retransmitted on the shared
+:class:`~repro.core.retry.RetryPolicy` schedule (capped exponential backoff
+with seeded jitter, configured by ``PipelineConfig.retransmit_*``), and each
+peer datacenter gets a :class:`~repro.core.retry.CircuitBreaker` — after
+enough consecutive timeouts the sender stops hammering the partitioned peer,
+keeps buffering locally, and probes periodically so catch-up resumes the
+moment the partition heals.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.config import PipelineConfig
 from ..core.record import DatacenterId, KnowledgeVector, Record
+from ..core.retry import CircuitBreaker, RetryPolicy
 from ..flstore.messages import ReadNewReply, ReadNewRequest
 from ..runtime.actor import Actor
 from .messages import AtableSnapshot, FrontierUpdate, ReplicationShipment, ShipmentAck
@@ -34,6 +44,12 @@ class _PeerStream:
     inflight_upto: int = -1
     inflight_records: List[Record] = field(default_factory=list)
     sent_at: float = 0.0
+    #: Consecutive transmissions of the current shipment without an ack.
+    attempts: int = 0
+    #: Seconds the current attempt may wait for its ack before retrying.
+    retry_after: float = 0.0
+    #: Whether the current attempt's timeout was already counted as a failure.
+    timed_out: bool = False
 
 
 class Sender(Actor):
@@ -46,7 +62,8 @@ class Sender(Actor):
         maintainers: List[str],
         peer_receivers: Dict[DatacenterId, List[str]],
         config: Optional[PipelineConfig] = None,
-        retransmit_timeout: float = 0.5,
+        retransmit_timeout: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
         transitive: bool = False,
     ) -> None:
         super().__init__(name)
@@ -54,7 +71,24 @@ class Sender(Actor):
         self.maintainers = list(maintainers)
         self.peer_receivers = {dc: list(rs) for dc, rs in peer_receivers.items()}
         self.config = config or PipelineConfig()
-        self.retransmit_timeout = retransmit_timeout
+        if retry_policy is not None:
+            self.retry_policy = retry_policy
+        elif retransmit_timeout is not None:
+            # Back-compat shorthand: a bare timeout becomes the backoff base.
+            self.retry_policy = RetryPolicy(
+                base_delay=retransmit_timeout,
+                max_delay=retransmit_timeout * 8,
+                multiplier=self.config.retransmit_multiplier,
+                jitter=self.config.retransmit_jitter,
+                max_attempts=1_000_000,
+            )
+        else:
+            self.retry_policy = self.config.retransmit_policy()
+        #: Seeded per-sender RNG: jitter stays deterministic across runs.
+        self._rng = random.Random(name)
+        self._breakers: Dict[DatacenterId, CircuitBreaker] = {
+            dc: self._new_breaker() for dc in self.peer_receivers
+        }
         #: Transitive shipping (Replicated Dictionary style): forward
         #: records from *any* host, so partial topologies still converge.
         self.transitive = transitive
@@ -89,10 +123,21 @@ class Sender(Actor):
         for dc in self.peer_receivers:
             self._streams[(dc, name)] = _PeerStream()
 
+    def _new_breaker(self) -> CircuitBreaker:
+        return CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            reset_timeout=self.config.breaker_reset_timeout,
+        )
+
+    def breaker(self, dc: DatacenterId) -> CircuitBreaker:
+        """The circuit breaker guarding replication toward ``dc``."""
+        return self._breakers[dc]
+
     def add_peer(self, dc: DatacenterId, receivers: List[str]) -> None:
         """Connect a remote datacenter (deployment wiring / elasticity)."""
         self.peer_receivers[dc] = list(receivers)
         self._receiver_cycle[dc] = itertools.cycle(receivers)
+        self._breakers.setdefault(dc, self._new_breaker())
         for maintainer in self.maintainers:
             self._streams.setdefault((dc, maintainer), _PeerStream())
 
@@ -124,6 +169,8 @@ class Sender(Actor):
         everyone's knowledge of everyone, §6.1) could stall.
         """
         for dc in self.peer_receivers:
+            if self._breakers[dc].state == CircuitBreaker.OPEN:
+                continue  # peer is down; shipments will carry the vector later
             if self._vector and self._vector != self._last_vector_sent.get(dc):
                 self._last_vector_sent[dc] = dict(self._vector)
                 receiver = next(self._receiver_cycle[dc])
@@ -173,9 +220,20 @@ class Sender(Actor):
             self._ship_one(dc, maintainer, stream)
 
     def _ship_one(self, dc: DatacenterId, maintainer: str, stream: _PeerStream) -> None:
+        breaker = self._breakers[dc]
         if stream.inflight_seq is not None:
-            if self.now - stream.sent_at >= self.retransmit_timeout:
-                self._transmit(dc, maintainer, stream)  # retransmission
+            if not stream.timed_out:
+                if self.now - stream.sent_at < stream.retry_after:
+                    return  # still waiting for the ack
+                # The current attempt has timed out: count it exactly once.
+                stream.timed_out = True
+                breaker.record_failure(self.now)
+            if not breaker.allow(self.now):
+                return  # peer considered down; buffer and wait for a probe
+            stream.attempts += 1
+            stream.retry_after = self.retry_policy.delay(stream.attempts, self._rng)
+            stream.timed_out = False
+            self._transmit(dc, maintainer, stream)  # retransmission / probe
             return
         pending = [
             (lid, record)
@@ -184,8 +242,13 @@ class Sender(Actor):
         ]
         if not pending:
             return
+        if not breaker.allow(self.now):
+            return  # don't open new shipments toward a dead peer
         pending = pending[: self.config.replication_batch_limit]
         stream.inflight_seq = next(self._ship_seq)
+        stream.attempts = 0
+        stream.retry_after = self.retry_policy.delay(0, self._rng)
+        stream.timed_out = False
         stream.inflight_upto = pending[-1][0]
         # Never echo a datacenter's own records back to it (transitive mode
         # forwards third-party records only; the filters would drop echoes
@@ -217,9 +280,14 @@ class Sender(Actor):
         stream = self._streams.get((ack.from_dc, ack.maintainer))
         if stream is None or stream.inflight_seq != ack.ship_seq:
             return  # stale ack (retransmission already superseded it)
+        breaker = self._breakers.get(ack.from_dc)
+        if breaker is not None:
+            breaker.record_success(self.now)
         stream.acked_upto = max(stream.acked_upto, ack.upto_lid)
         stream.inflight_seq = None
         stream.inflight_records = []
+        stream.attempts = 0
+        stream.timed_out = False
         self._compact(ack.maintainer)
         self._ship_one(ack.from_dc, ack.maintainer, stream)
 

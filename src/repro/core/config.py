@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from .errors import ConfigurationError
+from .retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -57,12 +58,40 @@ class PipelineConfig:
     gc_interval: float = 0.0
     #: Keep at least this many most recent LIds even when GC-eligible.
     gc_keep_records: int = 0
+    #: First replication retransmission timeout; later attempts back off
+    #: exponentially (capped, jittered) instead of the old fixed constant.
+    retransmit_base: float = 0.5
+    #: Cap on the retransmission backoff.
+    retransmit_max: float = 4.0
+    #: Backoff multiplier between consecutive retransmissions.
+    retransmit_multiplier: float = 2.0
+    #: ±fraction of seeded jitter on each retransmission delay.
+    retransmit_jitter: float = 0.1
+    #: Consecutive retransmission failures before a peer datacenter's
+    #: circuit breaker opens (senders stop shipping until a probe succeeds).
+    breaker_failure_threshold: int = 8
+    #: Seconds an open breaker waits before allowing a half-open probe.
+    breaker_reset_timeout: float = 2.0
 
     def __post_init__(self) -> None:
         if self.batcher_flush_threshold < 1:
             raise ConfigurationError("batcher_flush_threshold must be >= 1")
         if self.token_deferred_limit < 0:
             raise ConfigurationError("token_deferred_limit must be >= 0")
+        if self.retransmit_base <= 0:
+            raise ConfigurationError("retransmit_base must be positive")
+        if self.retransmit_max < self.retransmit_base:
+            raise ConfigurationError("retransmit_max must be >= retransmit_base")
+
+    def retransmit_policy(self) -> "RetryPolicy":
+        """The replication retransmission schedule as a shared RetryPolicy."""
+        return RetryPolicy(
+            base_delay=self.retransmit_base,
+            max_delay=self.retransmit_max,
+            multiplier=self.retransmit_multiplier,
+            jitter=self.retransmit_jitter,
+            max_attempts=1_000_000,  # senders retransmit until acked
+        )
 
 
 @dataclass(frozen=True)

@@ -95,6 +95,32 @@ class SessionError(ChariotsError):
     """A client operation was attempted without a valid session."""
 
 
+class AppendDeferred(ChariotsError):
+    """An explicit-order append could not be placed yet (§5.4).
+
+    The maintainer deferred the request because its minimum-LId bound is not
+    yet satisfiable.  Nothing was stored, so retrying the same request later
+    is safe — retry policies treat this as always-retryable.
+    """
+
+    def __init__(self, min_lid: object = None) -> None:
+        detail = f" (min_lid={min_lid})" if min_lid is not None else ""
+        super().__init__(f"append deferred on its minimum-LId bound{detail}; retry later")
+        self.min_lid = min_lid
+
+
+class CircuitOpenError(ChariotsError):
+    """A request was refused because the peer's circuit breaker is open.
+
+    The peer has failed repeatedly and is in its cooldown window; callers
+    should shed load or fail over rather than queue behind a dead node.
+    """
+
+    def __init__(self, peer: str) -> None:
+        super().__init__(f"circuit breaker open for peer {peer!r}; request refused")
+        self.peer = peer
+
+
 class TransactionAborted(ChariotsError):
     """A transaction failed conflict detection and was aborted.
 

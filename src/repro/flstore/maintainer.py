@@ -104,6 +104,14 @@ class MaintainerCore:
         self.records_placed = 0
         self.records_collected = 0
 
+    def set_journal(self, journal: Optional[Callable[[int, Record], None]]) -> None:
+        """Install (or replace) the durability hook for future placements.
+
+        Attach before traffic flows: only placements made while a journal is
+        installed can be replayed by crash recovery.
+        """
+        self._journal = journal
+
     # ------------------------------------------------------------------ #
     # Appending (post-assignment, §5.2)
     # ------------------------------------------------------------------ #

@@ -20,12 +20,15 @@ The runtime implements the same registration/`send` surface as
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, TYPE_CHECKING
 
 from ..core.errors import ConfigurationError, NetworkProtocolError
 from ..runtime.actor import Actor
 from .codec import decode_message, encode_message
 from .protocol import CODEC_BINARY, CODEC_JSON, encode_frame, encode_frame_binary, read_frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..chaos.plan import FaultPlan
 
 
 class _AioTimerHandle:
@@ -73,7 +76,12 @@ class AioRuntime:
     negotiation is needed — the choice only affects serialisation cost.
     """
 
-    def __init__(self, host: str = "127.0.0.1", codec: str = CODEC_BINARY) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        codec: str = CODEC_BINARY,
+        chaos: Optional["FaultPlan"] = None,
+    ) -> None:
         if codec not in (CODEC_BINARY, CODEC_JSON):
             raise ConfigurationError(f"unknown codec {codec!r}")
         self.codec = codec
@@ -84,7 +92,12 @@ class AioRuntime:
         self._server: Optional[asyncio.AbstractServer] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
+        #: Optional FaultPlan applied to every routed frame (drop / delay /
+        #: duplicate / reorder); crashes and partitions also apply, keyed by
+        #: actor-name prefixes, making TCP-backed chaos runs possible.
+        self.chaos = chaos
         self.messages_routed = 0
+        self.messages_dropped = 0
         self.bytes_routed = 0
 
     # -- registry (BaseRuntime-compatible surface) ------------------------ #
@@ -168,8 +181,26 @@ class AioRuntime:
             frame = encode_frame(
                 {"type": "route", "s": src, "d": dst, "m": encode_message(message)}
             )
+        if self.chaos is not None:
+            copies = self.chaos.intercept(src, dst, message, self.loop.now)
+            if copies is None:
+                self.messages_dropped += 1
+                return
+            for extra in copies:
+                if extra <= 0.0:
+                    self.bytes_routed += len(frame)
+                    self._writer.write(frame)
+                else:
+                    self.loop.schedule(extra, lambda f=frame: self._write_later(f))
+            return
         self.bytes_routed += len(frame)
         self._writer.write(frame)
+
+    def _write_later(self, frame: bytes) -> None:
+        """Deferred write for chaos-delayed frames (no-op after stop())."""
+        if self._writer is not None:
+            self.bytes_routed += len(frame)
+            self._writer.write(frame)
 
     # -- async drivers ---------------------------------------------------------- #
 

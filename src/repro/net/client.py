@@ -4,16 +4,33 @@ Mirrors the in-process client (§3's interface): session bootstrap through
 the controller, post-assignment appends round-robined over the maintainer
 servers, reads routed by the deterministic ownership function, tag lookups
 through the indexers.
+
+Resilience: every request runs under the client's
+:class:`~repro.core.retry.RetryPolicy` — idempotent operations (session,
+reads, head queries) are retried across transport failures and per-operation
+timeouts with capped, jittered backoff, and deferred appends
+(:class:`~repro.core.errors.AppendDeferred`, which store nothing server-side)
+are retried for any operation.  A :class:`~repro.core.retry.CircuitBreaker`
+per server address sheds load from peers that keep failing
+(:class:`~repro.core.errors.CircuitOpenError`) until a probe succeeds.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from ..core.errors import ChariotsError, NetworkProtocolError, SessionError
+from ..core.errors import (
+    AppendDeferred,
+    ChariotsError,
+    CircuitOpenError,
+    NetworkProtocolError,
+    SessionError,
+)
 from ..core.record import AppendResult, LogEntry, ReadRules, Record
+from ..core.retry import CircuitBreaker, RetryPolicy
 from ..flstore.range_map import OwnershipPlan
 from .protocol import (
     CODEC_BINARY,
@@ -104,6 +121,14 @@ class _Connection:
             self._writer = None
             self._reader = None
 
+    async def reset(self) -> None:
+        """Tear the connection down so the next request reconnects.
+
+        Called after a transport failure or timeout: the request/response
+        framing on the old connection can no longer be trusted.
+        """
+        await self.close()
+
 
 class AsyncFLStoreClient:
     """Networked application client for FLStore over TCP.
@@ -118,10 +143,20 @@ class AsyncFLStoreClient:
         controller_address: str,
         client_id: str = "net-client",
         codec: str = CODEC_BINARY,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_failure_threshold: int = 5,
+        breaker_reset_timeout: float = 1.0,
     ) -> None:
         self.codec = codec
         self.controller = _Connection(controller_address, codec=codec)
         self.client_id = client_id
+        self.retry_policy = retry_policy or RetryPolicy(
+            base_delay=0.05, max_delay=1.0, max_attempts=5, op_timeout=5.0
+        )
+        self._breaker_failure_threshold = breaker_failure_threshold
+        self._breaker_reset_timeout = breaker_reset_timeout
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._rng = random.Random(client_id)
         self._maintainers: Dict[str, _Connection] = {}
         self._indexers: Dict[str, _Connection] = {}
         self._plan: Optional[OwnershipPlan] = None
@@ -130,11 +165,76 @@ class AsyncFLStoreClient:
         self._toids = itertools.count(1)
 
     # ------------------------------------------------------------------ #
+    # Resilience plumbing
+    # ------------------------------------------------------------------ #
+
+    def breaker(self, address: str) -> CircuitBreaker:
+        """The circuit breaker guarding the server at ``address``."""
+        breaker = self._breakers.get(address)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self._breaker_failure_threshold,
+                reset_timeout=self._breaker_reset_timeout,
+            )
+            self._breakers[address] = breaker
+        return breaker
+
+    async def _request(
+        self,
+        conn: _Connection,
+        message: Dict[str, Any],
+        idempotent: bool = True,
+    ) -> Dict[str, Any]:
+        """Issue one request under the retry policy and circuit breaker.
+
+        Transport failures and per-operation timeouts are retried only for
+        ``idempotent`` operations (a lost append reply could mean the append
+        landed, so appends must not be blindly resent).  ``append_deferred``
+        replies become :class:`AppendDeferred` and are retried for every
+        operation — the server stored nothing.
+        """
+        policy = self.retry_policy
+        breaker = self.breaker(conn.address)
+        loop = asyncio.get_running_loop()
+        last_error: Optional[Exception] = None
+        for attempt in range(policy.max_attempts):
+            if not breaker.allow(loop.time()):
+                raise CircuitOpenError(conn.address)
+            try:
+                if policy.op_timeout is not None:
+                    response = await asyncio.wait_for(
+                        conn.request(message), policy.op_timeout
+                    )
+                else:
+                    response = await conn.request(message)
+                if response.get("type") == "append_deferred":
+                    raise AppendDeferred(message.get("min_lid"))
+            except AppendDeferred as exc:
+                # The server answered (it is healthy) but deferred the
+                # request on its minimum-LId bound: always safe to retry.
+                breaker.record_success(loop.time())
+                last_error = exc
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    NetworkProtocolError) as exc:
+                breaker.record_failure(loop.time())
+                await conn.reset()
+                if not idempotent:
+                    raise
+                last_error = exc
+            else:
+                breaker.record_success(loop.time())
+                return response
+            if attempt + 1 < policy.max_attempts:
+                await asyncio.sleep(policy.delay(attempt, self._rng))
+        assert last_error is not None
+        raise last_error
+
+    # ------------------------------------------------------------------ #
     # Session
     # ------------------------------------------------------------------ #
 
     async def connect(self) -> None:
-        info = await self.controller.request({"type": "session", "request_id": 1})
+        info = await self._request(self.controller, {"type": "session", "request_id": 1})
         self._maintainers = {
             name: _Connection(address, codec=self.codec)
             for name, address in info["maintainers"].items()
@@ -185,15 +285,18 @@ class AsyncFLStoreClient:
         target = next(self._maintainer_cycle)
         conn = self._maintainers[target]
         wire = await conn.wire()
-        response = await conn.request(
+        # Not idempotent: a lost reply could mean the records landed, so
+        # transport failures surface to the caller.  Deferred appends
+        # (nothing stored) are still retried by the policy.
+        response = await self._request(
+            conn,
             {
                 "type": "append",
                 "records": [wire.pack_record(r) for r in records],
                 "min_lid": min_lid,
-            }
+            },
+            idempotent=False,
         )
-        if response["type"] == "append_deferred":
-            raise ChariotsError("append deferred on its minimum-LId bound; retry later")
         return [wire.unpack_result(r) for r in response["results"]]
 
     async def read_lid(self, lid: int) -> LogEntry:
@@ -201,7 +304,7 @@ class AsyncFLStoreClient:
         owner = plan.owner(lid)
         conn = self._maintainers[owner]
         wire = await conn.wire()
-        response = await conn.request({"type": "read_lid", "lid": lid})
+        response = await self._request(conn, {"type": "read_lid", "lid": lid})
         return wire.unpack_entry(response["entries"][0])
 
     async def read(self, rules: ReadRules) -> List[LogEntry]:
@@ -211,8 +314,8 @@ class AsyncFLStoreClient:
         entries: List[LogEntry] = []
         for conn in self._maintainers.values():
             wire = await conn.wire()
-            response = await conn.request(
-                {"type": "read_rules", "rules": wire.pack_rules(rules)}
+            response = await self._request(
+                conn, {"type": "read_rules", "rules": wire.pack_rules(rules)}
             )
             entries.extend(wire.unpack_entry(e) for e in response["entries"])
         entries.sort(key=lambda e: e.lid, reverse=rules.most_recent)
@@ -224,7 +327,8 @@ class AsyncFLStoreClient:
         plan = self._require_session()
         assert rules.tag_key is not None
         indexer = self._indexer_names[hash(rules.tag_key) % len(self._indexer_names)]
-        response = await self._indexers[indexer].request(
+        response = await self._request(
+            self._indexers[indexer],
             {
                 "type": "lookup",
                 "tag_key": rules.tag_key,
@@ -240,7 +344,7 @@ class AsyncFLStoreClient:
             owner = plan.owner(lid)
             conn = self._maintainers[owner]
             wire = await conn.wire()
-            reply = await conn.request({"type": "read_lid", "lid": lid})
+            reply = await self._request(conn, {"type": "read_lid", "lid": lid})
             entries.append(wire.unpack_entry(reply["entries"][0]))
         return [e for e in entries if rules.matches(e)]
 
@@ -248,5 +352,5 @@ class AsyncFLStoreClient:
         self._require_session()
         assert self._maintainer_cycle is not None
         target = next(self._maintainer_cycle)
-        response = await self._maintainers[target].request({"type": "head"})
+        response = await self._request(self._maintainers[target], {"type": "head"})
         return response["head_lid"]

@@ -12,7 +12,7 @@ over the same connections.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..core.config import FLStoreConfig
 from ..core.errors import ChariotsError, NetworkProtocolError
@@ -32,14 +32,28 @@ from .protocol import (
     write_frame,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..chaos.netchaos import NetChaos
+
 
 class _BaseServer:
-    """Shared accept-loop plumbing for the component servers."""
+    """Shared accept-loop plumbing for the component servers.
+
+    ``chaos`` optionally installs a :class:`~repro.chaos.netchaos.NetChaos`:
+    per request it may swallow the reply (the client's retry policy times
+    out), stall it, or drop the connection.  ``None`` (the default) costs one
+    ``is not None`` check per request.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
         self.host = host
         self.port = port
+        self.chaos: Optional["NetChaos"] = None
         self._server: Optional[asyncio.AbstractServer] = None
+
+    def set_chaos(self, chaos: Optional["NetChaos"]) -> None:
+        """Install (or clear) request-level fault injection."""
+        self.chaos = chaos
 
     async def start(self) -> Tuple[str, int]:
         self._server = await asyncio.start_server(self._serve, self.host, self.port)
@@ -71,6 +85,14 @@ class _BaseServer:
                     chosen = CODEC_BINARY if CODEC_BINARY in offered else CODEC_JSON
                     await write_frame(writer, {"type": HELLO_ACK_TYPE, "codec": chosen})
                     continue
+                if self.chaos is not None:
+                    action, stall = self.chaos.decide(request["type"])
+                    if action == "drop":
+                        continue  # swallow: the client times out and retries
+                    if action == "disconnect":
+                        break
+                    if action == "delay":
+                        await asyncio.sleep(stall)
                 wire = WIRES.get(codec, WIRE_JSON)
                 try:
                     response = await self.handle(request, wire)

@@ -16,6 +16,7 @@ from .messages import (
     record_count_of,
     wire_size_of,
 )
+from .supervisor import Supervisor
 
 __all__ = [
     "Actor",
@@ -26,6 +27,7 @@ __all__ = [
     "LocalRuntime",
     "Payload",
     "RecordBatch",
+    "Supervisor",
     "partitioned",
     "random_drops",
     "random_latency",

@@ -3,18 +3,31 @@
 This is the substrate for functional tests, applications, and examples.  It
 delivers messages in a deterministic order, supports fault injection through
 ``latency_fn`` / ``drop_fn`` hooks (used by the property-based tests to
-produce adversarial delivery schedules), and exposes ``run_until`` so
-synchronous client code can pump the network until a reply arrives.
+produce adversarial delivery schedules) and through a full seeded
+:class:`~repro.chaos.plan.FaultPlan` (drops, delays, duplicates, reorders,
+crashes, partitions), and exposes ``run_until`` so synchronous client code
+can pump the network until a reply arrives.
+
+Crash semantics (shared by every :class:`BaseRuntime` subclass): a crashed
+actor's outgoing messages are discarded (a dead process sends nothing) and
+its inbound traffic is *parked* — held aside and redelivered when the actor
+is revived or replaced.  Parking models the reliable channels real deployments
+put in front of a restarted node: peers keep retransmitting until the
+replacement accepts, so from the protocol's point of view the messages were
+simply delayed across the outage.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
 
 from ..core.errors import ConfigurationError
 from .actor import Actor
 from .loop import EventLoop
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..chaos.plan import FaultPlan
 
 #: latency hook signature: (src, dst, message) -> seconds of delivery delay.
 LatencyFn = Callable[[str, str, Any], float]
@@ -29,6 +42,10 @@ class BaseRuntime:
         self.loop = EventLoop()
         self._actors: Dict[str, Actor] = {}
         self._started = False
+        self._crashed: set = set()
+        #: Inbound messages held for crashed actors: name -> [(src, message)].
+        self._parked: Dict[str, List[Tuple[str, Any]]] = {}
+        self.messages_parked = 0
 
     # -- registry -------------------------------------------------------- #
 
@@ -58,6 +75,8 @@ class BaseRuntime:
             raise ConfigurationError(f"no actor {actor.name!r} to replace")
         actor.runtime = self
         self._actors[actor.name] = actor
+        if actor.name in self._crashed:
+            self.revive(actor.name)
         if self._started:
             actor.on_start()
         return actor
@@ -74,6 +93,47 @@ class BaseRuntime:
     @property
     def now(self) -> float:
         return self.loop.now
+
+    # -- crash / recovery ------------------------------------------------ #
+
+    def crash(self, name: str) -> None:
+        """Kill the actor registered under ``name``.
+
+        Its outgoing messages are discarded and inbound traffic parks until
+        :meth:`revive` or :meth:`replace` brings the address back (typically
+        a :class:`~repro.runtime.supervisor.Supervisor` restarting it from a
+        journal).
+        """
+        if name not in self._actors:
+            raise ConfigurationError(f"no actor {name!r} to crash")
+        self._crashed.add(name)
+
+    def revive(self, name: str) -> None:
+        """Clear ``name``'s crashed flag and redeliver its parked messages."""
+        self._crashed.discard(name)
+        parked = self._parked.pop(name, None)
+        if parked:
+            for src, message in parked:
+                self.loop.schedule(
+                    0.0, lambda s=src, m=message: self._on_deliver(s, name, m)
+                )
+
+    def is_crashed(self, name: str) -> bool:
+        return name in self._crashed
+
+    def crashed_actors(self) -> List[str]:
+        return sorted(self._crashed)
+
+    def _park(self, src: str, dst: str, message: Any) -> None:
+        self.messages_parked += 1
+        self._parked.setdefault(dst, []).append((src, message))
+
+    def _on_deliver(self, src: str, dst: str, message: Any) -> None:
+        """Delivery-time dispatch honouring crashes that happened in flight."""
+        if dst in self._crashed:
+            self._park(src, dst, message)
+            return
+        self._actors[dst].on_message(src, message)
 
     # -- lifecycle ------------------------------------------------------- #
 
@@ -110,30 +170,62 @@ class BaseRuntime:
 
 
 class LocalRuntime(BaseRuntime):
-    """Instant-delivery deterministic runtime with fault-injection hooks."""
+    """Instant-delivery deterministic runtime with fault-injection hooks.
+
+    ``chaos`` installs a :class:`~repro.chaos.plan.FaultPlan`: its message
+    faults and partitions are applied to every send, and its crash events
+    are scheduled when the runtime starts.  Without a plan the only cost is
+    one ``is not None`` check per message.
+    """
 
     def __init__(
         self,
         latency_fn: Optional[LatencyFn] = None,
         drop_fn: Optional[DropFn] = None,
+        chaos: Optional["FaultPlan"] = None,
     ) -> None:
         super().__init__()
         self.latency_fn = latency_fn
         self.drop_fn = drop_fn
+        self.chaos = chaos
         self.messages_sent = 0
         self.messages_dropped = 0
 
+    def start(self) -> "BaseRuntime":
+        if not self._started and self.chaos is not None:
+            for crash in self.chaos.crashes:
+                self.loop.schedule(
+                    crash.at,
+                    lambda name=crash.actor: self.crash(name)
+                    if name in self._actors
+                    else None,
+                )
+        return super().start()
+
     def send(self, src: str, dst: str, message: Any) -> None:
         self.messages_sent += 1
+        if self._crashed and src in self._crashed:
+            self.messages_dropped += 1  # a dead process sends nothing
+            return
         if self.drop_fn is not None and self.drop_fn(src, dst, message):
             self.messages_dropped += 1
             return
-        delay = self.latency_fn(src, dst, message) if self.latency_fn else 0.0
         if dst not in self._actors:
             raise ConfigurationError(f"message from {src!r} to unknown actor {dst!r}")
+        delay = self.latency_fn(src, dst, message) if self.latency_fn else 0.0
+        if self.chaos is not None:
+            copies = self.chaos.intercept(src, dst, message, self.loop.now)
+            if copies is None:
+                self.messages_dropped += 1
+                return
+            for extra in copies:
+                self.loop.schedule(
+                    delay + extra, lambda: self._on_deliver(src, dst, message)
+                )
+            return
         # Resolve the target at delivery time so a replaced actor (crash
         # recovery) receives messages that were already in flight.
-        self.loop.schedule(delay, lambda: self._actors[dst].on_message(src, message))
+        self.loop.schedule(delay, lambda: self._on_deliver(src, dst, message))
 
 
 def random_latency(seed: int, max_delay: float = 0.05) -> LatencyFn:

@@ -20,7 +20,7 @@ records/second the paper's Tables 2–5 report.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
 
 from ..core.config import MachineProfile, NetworkProfile, PRIVATE_CLOUD
 from ..core.errors import ConfigurationError
@@ -29,6 +29,9 @@ from ..runtime.local import BaseRuntime
 from ..runtime.messages import record_count_of, wire_size_of
 from .machine import Machine
 from .metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..chaos.plan import FaultPlan
 
 
 class SimRuntime(BaseRuntime):
@@ -39,14 +42,28 @@ class SimRuntime(BaseRuntime):
         network: Optional[NetworkProfile] = None,
         record_size: int = 512,
         metrics: Optional[MetricsRegistry] = None,
+        chaos: Optional["FaultPlan"] = None,
     ) -> None:
         super().__init__()
         self.network = network or NetworkProfile()
         self.record_size = record_size
         self.metrics = metrics or MetricsRegistry()
+        self.chaos = chaos
+        self.messages_dropped = 0
         self._machines: Dict[str, Machine] = {}
         self._placement: Dict[str, Machine] = {}
         self._latency_overrides: Dict[Tuple[str, str], float] = {}
+
+    def start(self) -> "BaseRuntime":
+        if not self._started and self.chaos is not None:
+            for crash in self.chaos.crashes:
+                self.loop.schedule(
+                    crash.at,
+                    lambda name=crash.actor: self.crash(name)
+                    if name in self._actors
+                    else None,
+                )
+        return super().start()
 
     # ------------------------------------------------------------------ #
     # Topology
@@ -113,6 +130,23 @@ class SimRuntime(BaseRuntime):
     # ------------------------------------------------------------------ #
 
     def send(self, src: str, dst: str, message: Any) -> None:
+        if self._crashed and src in self._crashed:
+            self.messages_dropped += 1  # a dead process sends nothing
+            return
+        if self.chaos is not None:
+            copies = self.chaos.intercept(src, dst, message, self.now)
+            if copies is None:
+                self.messages_dropped += 1
+                return
+            if len(copies) > 1 or copies[0] > 0.0:
+                for extra in copies:
+                    self.loop.schedule(
+                        extra, lambda: self._transmit(src, dst, message)
+                    )
+                return
+        self._transmit(src, dst, message)
+
+    def _transmit(self, src: str, dst: str, message: Any) -> None:
         target = self._actors.get(dst)
         if target is None:
             raise ConfigurationError(f"message from {src!r} to unknown actor {dst!r}")
@@ -173,6 +207,9 @@ class SimRuntime(BaseRuntime):
         self.loop.schedule_at(done, complete)
 
     def _deliver(self, src: str, target: Actor, message: Any, n_records: int) -> None:
+        if self._crashed and target.name in self._crashed:
+            self._park(src, target.name, message)
+            return
         if src != target.name:
             if n_records:
                 self.metrics.add(target.name, "in_records", n_records, self.now)

@@ -1,10 +1,38 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test chaos bench-smoke bench-reports
+.PHONY: check test chaos bench-smoke bench-reports lint analysis ruff mypy baseline
 
 ## Tier-1 gate: the full test suite plus a seconds-scale bench smoke.
 check: test bench-smoke
+
+## Static gates: project linter (always) + ruff/mypy (when installed; CI
+## installs both via `pip install ruff mypy`, see .github/workflows/ci.yml).
+lint: analysis ruff mypy
+
+## Project-specific AST linter: protocol exhaustiveness, determinism,
+## async safety, hot-path slots, typed-API completeness (docs/ANALYSIS.md).
+analysis:
+	$(PYTHON) -m repro.analysis src --baseline analysis-baseline.json
+
+## Regenerate the curated baseline (only for intentionally accepted debt —
+## fix findings instead where possible; tests assert the file is fresh).
+baseline:
+	$(PYTHON) -m repro.analysis src --baseline analysis-baseline.json --write-baseline
+
+ruff:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping (pip install ruff)"; \
+	fi
+
+mypy:
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed; skipping (pip install mypy)"; \
+	fi
 
 test:
 	$(PYTHON) -m pytest -x -q

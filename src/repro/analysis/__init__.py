@@ -1,0 +1,50 @@
+"""Project-specific static analysis (``python -m repro.analysis``).
+
+AST-based lint rules enforcing the invariants the test suite can't see:
+
+========  ===========================  =====================================
+Code      Name                         Invariant
+========  ===========================  =====================================
+CHR001    protocol-unregistered        every message dataclass is codec-
+                                       registered (JSON + binary index)
+CHR002    protocol-unhandled           registry ↔ handlers agree (no stale
+                                       or unroutable registrations)
+CHR003    determinism-wallclock        no OS clock in sim-reachable code
+CHR004    determinism-randomness       randomness flows from explicit seeds
+CHR005    determinism-iteration-order  no set/listdir iteration-order leaks
+CHR006    async-blocking               no blocking calls in net/ async defs
+CHR007    missing-slots                hot-path dataclasses are slotted
+CHR008    untyped-public-api           typed packages stay fully annotated
+========  ===========================  =====================================
+
+Suppression: ``# chariots: noqa=CHR003`` on the offending line (comma list
+or bare ``noqa`` for all codes).  Legacy debt lives in a committed baseline
+file (``--baseline``); see docs/ANALYSIS.md for the workflow.
+
+The package is pure stdlib and never imports the code it scans, so it runs
+identically on the real tree and on synthetic fixtures in the tests.
+"""
+
+from __future__ import annotations
+
+from .baseline import apply_baseline, dump_baseline, load_baseline, write_baseline
+from .cli import main, run_rules
+from .findings import Finding
+from .project import ModuleInfo, ProjectInfo, scan
+from .rules import ALL_RULES, Rule, rules_by_code
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "ModuleInfo",
+    "ProjectInfo",
+    "Rule",
+    "apply_baseline",
+    "dump_baseline",
+    "load_baseline",
+    "main",
+    "run_rules",
+    "rules_by_code",
+    "scan",
+    "write_baseline",
+]

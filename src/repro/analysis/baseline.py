@@ -1,0 +1,72 @@
+"""Curated baseline: known findings that don't block the gate.
+
+The baseline is a JSON file mapping finding fingerprints (see
+:meth:`repro.analysis.findings.Finding.fingerprint`) to occurrence counts.
+``--baseline`` subtracts it from a fresh run, so legacy findings don't fail
+CI while every *new* finding still does.  ``--write-baseline`` regenerates
+the file; keeping it committed (and asserting freshness in the tests) makes
+the debt explicit and monotonically shrinkable.
+
+Fingerprints exclude line numbers on purpose: moving code around must not
+invalidate the baseline, only genuinely new findings should.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Read a baseline file into ``fingerprint -> count`` (empty if absent)."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline format in {path}")
+    findings = data.get("findings", {})
+    if not isinstance(findings, dict):
+        raise ValueError(f"malformed baseline findings table in {path}")
+    return {str(k): int(v) for k, v in findings.items()}
+
+
+def dump_baseline(findings: List[Finding]) -> str:
+    """Serialise current findings as baseline JSON (sorted, diff-friendly)."""
+    counts = Counter(f.fingerprint() for f in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "repro.analysis",
+        "findings": {k: counts[k] for k in sorted(counts)},
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    path.write_text(dump_baseline(findings), encoding="utf-8")
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, suppressed-count) against the baseline.
+
+    Multiplicity matters: a baseline entry with count 2 absorbs at most two
+    identical findings; a third identical one is new.
+    """
+    remaining = Counter(baseline)
+    fresh: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = finding.fingerprint()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed

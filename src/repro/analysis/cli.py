@@ -1,0 +1,165 @@
+"""Command-line driver: ``python -m repro.analysis [paths...]``.
+
+Pipeline: scan → run rules → drop noqa-suppressed findings → subtract the
+baseline → report.  Exit codes: 0 clean (or everything baselined), 1 new
+findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .findings import Finding
+from .noqa import is_suppressed
+from .project import ProjectInfo, scan
+from .rules import ALL_RULES, rules_by_code
+
+
+def run_rules(
+    project: ProjectInfo, select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """All findings for the project, noqa applied, deterministically ordered."""
+    table = rules_by_code()
+    if select:
+        unknown = sorted(set(select) - set(table))
+        if unknown:
+            raise ValueError(f"unknown rule codes: {', '.join(unknown)}")
+        codes = list(select)
+    else:
+        codes = sorted(table)
+    noqa_by_path = {m.relpath: m.noqa for m in project}
+    findings: List[Finding] = []
+    for code in codes:
+        rule = table[code]()
+        for finding in rule.check(project):
+            noqa = noqa_by_path.get(finding.path, {})
+            if is_suppressed(noqa, finding.line, finding.code):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code, f.message))
+    return findings
+
+
+def _render_text(findings: List[Finding], suppressed: int) -> str:
+    lines = [f.render() for f in findings]
+    summary = f"{len(findings)} finding(s)"
+    if suppressed:
+        summary += f", {suppressed} baselined"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _render_json(findings: List[Finding], suppressed: int) -> str:
+    return json.dumps(
+        {
+            "findings": [f.to_dict() for f in findings],
+            "count": len(findings),
+            "baselined": suppressed,
+        },
+        indent=2,
+    )
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in ALL_RULES:
+        lines.append(f"{rule.code}  {rule.name}")
+        lines.append(f"       {rule.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Project-specific static analysis for the Chariots reproduction: "
+            "protocol exhaustiveness, determinism, async safety, hot-path "
+            "slots, and typed-API completeness."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        type=Path,
+        help="baseline file to subtract from (and target of --write-baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="describe every rule and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if args.write_baseline and args.baseline is None:
+        parser.error("--write-baseline requires --baseline PATH")
+
+    select = None
+    if args.select:
+        select = [c.strip() for c in args.select.split(",") if c.strip()]
+
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    project = scan(paths)
+    try:
+        findings = run_rules(project, select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(f"baseline written: {args.baseline} ({len(findings)} finding(s))")
+        return 0
+
+    suppressed = 0
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings, suppressed = apply_baseline(findings, baseline)
+
+    output = (
+        _render_json(findings, suppressed)
+        if args.format == "json"
+        else _render_text(findings, suppressed)
+    )
+    print(output)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

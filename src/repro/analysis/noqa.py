@@ -1,0 +1,46 @@
+"""Per-line suppression comments.
+
+A finding on a line carrying ``# chariots: noqa=CHR003`` (or a comma list of
+codes, or a bare ``# chariots: noqa`` to suppress every rule) is dropped
+before baseline filtering.  The directive is project-specific on purpose —
+plain ``# noqa`` keeps its usual meaning for ruff/flake8 and never silences
+these rules, so suppressions of protocol/determinism invariants stay
+greppable and auditable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Optional
+
+#: ``line number (1-based) -> suppressed codes`` (``None`` = all codes).
+NoqaMap = Dict[int, Optional[FrozenSet[str]]]
+
+_NOQA_RE = re.compile(
+    r"#\s*chariots:\s*noqa(?:\s*=\s*(?P<codes>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*))?",
+)
+
+
+def collect_noqa(source: str) -> NoqaMap:
+    """Map suppression directives in ``source`` by line number."""
+    result: NoqaMap = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line or "chariots" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            result[lineno] = None
+        else:
+            result[lineno] = frozenset(c.strip() for c in codes.split(","))
+    return result
+
+
+def is_suppressed(noqa: NoqaMap, line: int, code: str) -> bool:
+    """Whether ``code`` is suppressed on ``line`` by a noqa directive."""
+    if line not in noqa:
+        return False
+    codes = noqa[line]
+    return codes is None or code in codes

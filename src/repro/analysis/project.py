@@ -1,0 +1,149 @@
+"""Source-tree scanner: parse every module once, share the ASTs with rules.
+
+Rules never read files themselves.  The scanner walks the requested roots,
+parses each ``.py`` file a single time, precomputes the facts several rules
+need (import alias map, noqa directives), and hands the resulting
+:class:`ProjectInfo` to every rule.  Keeping this layer purely ``ast``-based
+(no imports of the scanned code) is what lets the same rules run against
+synthetic fixture trees in the tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .noqa import NoqaMap, collect_noqa
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", ".venv", "venv", "node_modules"}
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """One parsed source module plus the precomputed facts rules share."""
+
+    path: Path  #: absolute filesystem path
+    relpath: str  #: posix path relative to the scan root
+    source: str
+    tree: ast.Module
+    noqa: NoqaMap
+    #: local name -> canonical dotted name, from this module's imports:
+    #: ``import time as t`` maps ``t -> time``; ``from time import
+    #: perf_counter`` maps ``perf_counter -> time.perf_counter``.
+    imports: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def dir_parts(self) -> Tuple[str, ...]:
+        """Directory components of the module, e.g. ``("repro", "sim")``."""
+        return Path(self.relpath).parts[:-1]
+
+    def in_package(self, names: Sequence[str]) -> bool:
+        """Whether any directory component matches one of ``names``."""
+        return any(part in names for part in self.dir_parts)
+
+
+@dataclass(slots=True)
+class ProjectInfo:
+    """Every scanned module, in deterministic (sorted-path) order."""
+
+    root: Path
+    modules: List[ModuleInfo] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[ModuleInfo]:
+        return iter(self.modules)
+
+    def find(self, relpath_suffix: str) -> List[ModuleInfo]:
+        """Modules whose relative path ends with ``relpath_suffix``."""
+        return [m for m in self.modules if m.relpath.endswith(relpath_suffix)]
+
+
+def _import_map(tree: ast.Module) -> Dict[str, str]:
+    """Resolve local import aliases to canonical dotted names.
+
+    Only top-level and nested plain imports are tracked; relative imports
+    map to their trailing module path (enough to recognise stdlib modules,
+    which is all the rules need).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".")[0]
+                target = name.name if name.asname else name.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                local = name.asname or name.name
+                aliases[local] = f"{module}.{name.name}" if module else name.name
+    return aliases
+
+
+def qualified_name(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Canonical dotted name of a ``Name``/``Attribute`` chain, if resolvable.
+
+    ``t.monotonic()`` with ``import time as t`` resolves to
+    ``time.monotonic``; unresolvable shapes (subscripts, calls) yield None.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = imports.get(node.id, node.id)
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def parse_module(path: Path, relpath: str) -> Optional[ModuleInfo]:
+    """Parse one file; syntactically invalid files are skipped (not linted)."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError):
+        return None
+    return ModuleInfo(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        noqa=collect_noqa(source),
+        imports=_import_map(tree),
+    )
+
+
+def scan(paths: Sequence[Path]) -> ProjectInfo:
+    """Parse every ``.py`` file under ``paths`` into one :class:`ProjectInfo`.
+
+    Relative paths are computed against the first root so fingerprints stay
+    stable no matter where the tool is invoked from.
+    """
+    roots = [p.resolve() for p in paths]
+    base = roots[0] if roots else Path.cwd()
+    if base.is_file():
+        base = base.parent
+    files: List[Tuple[str, Path]] = []
+    for root in roots:
+        if root.is_file():
+            files.append((root.name, root))
+            continue
+        for path in sorted(root.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in path.parts):
+                continue
+            try:
+                rel = path.relative_to(base).as_posix()
+            except ValueError:
+                rel = path.as_posix()
+            files.append((rel, path))
+    project = ProjectInfo(root=base)
+    for rel, path in files:
+        module = parse_module(path, rel)
+        if module is not None:
+            project.modules.append(module)
+    return project

@@ -1,0 +1,56 @@
+"""Rule registry.
+
+Rules self-describe (code, name, description) and are discovered from this
+registry; adding a rule is: write a :class:`~repro.analysis.rules.base.Rule`
+subclass in a module here, then list it in :data:`ALL_RULES`.  Codes must be
+unique and are never reused once retired (suppression comments and baselines
+reference them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .async_safety import BlockingAsyncRule
+from .base import ModuleRule, Rule
+from .determinism import IterationOrderRule, UnseededRandomRule, WallClockRule
+from .protocol import ProtocolDispatchRule, ProtocolRegistrationRule
+from .slots import SlotsRule
+from .typed_api import TypedApiRule
+
+#: Every shipped rule, in code order.
+ALL_RULES: List[Type[Rule]] = [
+    ProtocolRegistrationRule,  # CHR001
+    ProtocolDispatchRule,  # CHR002
+    WallClockRule,  # CHR003
+    UnseededRandomRule,  # CHR004
+    IterationOrderRule,  # CHR005
+    BlockingAsyncRule,  # CHR006
+    SlotsRule,  # CHR007
+    TypedApiRule,  # CHR008
+]
+
+
+def rules_by_code() -> Dict[str, Type[Rule]]:
+    table: Dict[str, Type[Rule]] = {}
+    for rule in ALL_RULES:
+        if rule.code in table:
+            raise ValueError(f"duplicate rule code {rule.code}")
+        table[rule.code] = rule
+    return table
+
+
+__all__ = [
+    "ALL_RULES",
+    "ModuleRule",
+    "Rule",
+    "rules_by_code",
+    "BlockingAsyncRule",
+    "IterationOrderRule",
+    "ProtocolDispatchRule",
+    "ProtocolRegistrationRule",
+    "SlotsRule",
+    "TypedApiRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+]

@@ -1,0 +1,73 @@
+"""CHR006 — no blocking calls inside ``async def`` in the network layer.
+
+The asyncio deployment multiplexes every actor, server, and client over one
+event loop.  A single synchronous sleep, socket operation, or file read in
+an ``async def`` stalls the whole datacenter: heartbeats miss, retransmit
+timers fire spuriously, and the chaos suites turn into false alarms.  The
+rule flags the well-known blocking stdlib calls lexically inside any
+``async def`` in ``net/`` (nested synchronous helpers included — they run
+on the loop too).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..findings import Finding
+from ..project import ModuleInfo, qualified_name
+from .base import ModuleRule
+
+#: Packages whose async defs are checked.
+ASYNC_SCOPED_PACKAGES: Tuple[str, ...] = ("net",)
+
+_BLOCKING_CALLS = {
+    "time.sleep": "use await asyncio.sleep(...)",
+    "socket.socket": "use asyncio streams (open_connection/start_server)",
+    "socket.create_connection": "use asyncio.open_connection(...)",
+    "socket.getaddrinfo": "use loop.getaddrinfo(...)",
+    "subprocess.run": "use asyncio.create_subprocess_exec(...)",
+    "subprocess.call": "use asyncio.create_subprocess_exec(...)",
+    "subprocess.check_call": "use asyncio.create_subprocess_exec(...)",
+    "subprocess.check_output": "use asyncio.create_subprocess_exec(...)",
+    "subprocess.Popen": "use asyncio.create_subprocess_exec(...)",
+    "urllib.request.urlopen": "use an async HTTP client or run_in_executor",
+    "open": "read the file before entering the async path or use run_in_executor",
+    "input": "never block the event loop on stdin",
+}
+
+
+class BlockingAsyncRule(ModuleRule):
+    """CHR006: async handlers in net/ must not block the event loop."""
+
+    code = "CHR006"
+    name = "async-blocking"
+    description = (
+        "async def bodies in net/ must not call blocking primitives "
+        "(time.sleep, socket.*, subprocess.*, open, urllib): one blocked "
+        "coroutine stalls every actor sharing the event loop."
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_package(ASYNC_SCOPED_PACKAGES):
+            return
+        seen = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                name = qualified_name(call.func, module.imports)
+                if name in _BLOCKING_CALLS:
+                    site = (call.lineno, call.col_offset)
+                    if site in seen:  # nested async def already reported it
+                        continue
+                    seen.add(site)
+                    yield self.finding(
+                        module,
+                        call.lineno,
+                        call.col_offset,
+                        f"blocking call {name}() inside async def "
+                        f"{node.name}; {_BLOCKING_CALLS[name]}",
+                    )

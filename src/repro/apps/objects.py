@@ -15,7 +15,7 @@ which the causal pipeline keeps consistent across datacenters.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..core.record import LogEntry, ReadRules, Record
 

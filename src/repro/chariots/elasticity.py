@@ -19,7 +19,7 @@ deployment (distributing mapping updates).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
 from ..core.errors import ConfigurationError
 from ..flstore.maintainer import LogMaintainer
@@ -55,7 +55,7 @@ def _ceil_multiple(value: int, multiple: int) -> int:
 
 
 def expand_maintainers(
-    target,
+    target: Union[DatacenterPipeline, FLStore],
     count: int = 1,
     placer: Optional[Placer] = None,
     from_lid: Optional[int] = None,

@@ -37,7 +37,7 @@ class DraftRecord:
         return body + 32
 
 
-@dataclass
+@dataclass(slots=True)
 class DraftBatch(Payload):
     """Client → batcher: locally created records entering the pipeline."""
 
@@ -50,7 +50,7 @@ class DraftBatch(Payload):
         return 64 + sum(d.size_bytes(record_size) for d in self.drafts)
 
 
-@dataclass
+@dataclass(slots=True)
 class FilterBatch(Payload):
     """Batcher → filter: mixed batch for the filter's championed slices."""
 
@@ -66,7 +66,7 @@ class FilterBatch(Payload):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class AdmittedBatch(Payload):
     """Filter → queue: records that passed uniqueness/order checks."""
 
@@ -82,7 +82,7 @@ class AdmittedBatch(Payload):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class Token:
     """The queue-stage token (§6.2, "Queues").
 
@@ -96,7 +96,7 @@ class Token:
     deferred: List[Record] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class TokenPass(Payload):
     """Queue → next queue: hand over the token (round-robin, §6.2)."""
 
@@ -120,14 +120,14 @@ class DraftCommitted:
     lid: int
 
 
-@dataclass
+@dataclass(slots=True)
 class DraftCommitBatch:
     """Queue → client: assigned identities for a batch of the client's drafts."""
 
     commits: List[DraftCommitted] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class FrontierUpdate:
     """Queue → senders / GC coordinator: latest incorporation state."""
 
@@ -135,7 +135,7 @@ class FrontierUpdate:
     next_lid: int
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplicationShipment(Payload):
     """Sender → remote receiver: records plus our knowledge state.
 
@@ -157,14 +157,14 @@ class ReplicationShipment(Payload):
     atable: Optional[Dict[DatacenterId, Dict[DatacenterId, int]]] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class AtableSnapshot:
     """GC coordinator → local senders: the current Awareness Table."""
 
     matrix: Dict[DatacenterId, Dict[DatacenterId, int]] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class ShipmentAck:
     """Receiver → sender: shipment received and handed to the batchers."""
 
@@ -174,7 +174,7 @@ class ShipmentAck:
     from_dc: DatacenterId = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class PeerVector:
     """Receiver → GC coordinator: a peer datacenter's knowledge state."""
 

@@ -51,7 +51,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import run_corfu_sim, run_flstore_sim, run_pipeline_sim
-    from .core import PRIVATE_CLOUD, PUBLIC_CLOUD
+    from .core import PRIVATE_CLOUD
 
     name = args.experiment
     duration, warmup = args.duration, min(0.4, args.duration / 3)

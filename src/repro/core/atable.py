@@ -15,7 +15,7 @@ The table drives two mechanisms:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 from .errors import ConfigurationError
 from .record import DatacenterId, KnowledgeVector, RecordId

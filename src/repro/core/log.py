@@ -14,7 +14,7 @@ The store separates two notions the paper is careful about (§5.4):
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from .errors import GarbageCollectedError, GapError, ImmutabilityError, LidOutOfRangeError
 from .record import LogEntry, ReadRules, Record, RecordId

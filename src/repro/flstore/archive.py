@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from bisect import insort
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..core.errors import LidOutOfRangeError
 from ..core.record import LogEntry, ReadRules, Record
@@ -107,7 +107,7 @@ class TieredReader:
     served by a live client, collected ones by the archive.
     """
 
-    def __init__(self, live_client, archive: ArchiveStore) -> None:
+    def __init__(self, live_client: Any, archive: ArchiveStore) -> None:
         self.live = live_client
         self.archive = archive
 

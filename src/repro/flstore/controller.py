@@ -11,7 +11,7 @@ It never sits on the data path — clients talk to it once per session.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from ..core.config import FLStoreConfig
 from ..runtime.actor import Actor

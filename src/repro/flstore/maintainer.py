@@ -17,7 +17,7 @@ adapts it to the actor runtimes, and ``repro.net`` adapts it to asyncio TCP.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.config import FLStoreConfig

@@ -17,7 +17,7 @@ from ..runtime.messages import Payload
 # --------------------------------------------------------------------- #
 
 
-@dataclass
+@dataclass(slots=True)
 class AppendRequest(Payload):
     """Client → maintainer: append these records (post-assignment, §5.2).
 
@@ -34,7 +34,7 @@ class AppendRequest(Payload):
     want_results: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class AppendReply(Payload):
     """Maintainer → client: assigned TOIds/LIds for an append request."""
 
@@ -44,7 +44,7 @@ class AppendReply(Payload):
     error: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class PlaceRecords(Payload):
     """Queue → maintainer: store records at pre-assigned LIds (Chariots mode)."""
 
@@ -62,7 +62,7 @@ class PlaceRecords(Payload):
 # --------------------------------------------------------------------- #
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadRequest(Payload):
     """Client → maintainer: read by LId, or rule-scan the maintainer's slice."""
 
@@ -71,7 +71,7 @@ class ReadRequest(Payload):
     rules: Optional[ReadRules] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadReply(Payload):
     request_id: int
     entries: List[LogEntry] = field(default_factory=list)
@@ -84,7 +84,7 @@ class ReadReply(Payload):
         return 64 + sum(8 + e.record.size_bytes(record_size) for e in self.entries)
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadNewRequest(Payload):
     """Sender → maintainer: entries with LId > ``after_lid`` that are safe
     to ship (assigned, in owner order).  Used by replication senders (§6.2)."""
@@ -94,7 +94,7 @@ class ReadNewRequest(Payload):
     limit: int = 4096
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadNewReply(Payload):
     request_id: int
     entries: List[LogEntry] = field(default_factory=list)
@@ -113,7 +113,7 @@ class ReadNewReply(Payload):
 # --------------------------------------------------------------------- #
 
 
-@dataclass
+@dataclass(slots=True)
 class GossipHL:
     """Maintainer → maintainer: my next unassigned LId (fixed-size, §5.4)."""
 
@@ -121,14 +121,14 @@ class GossipHL:
     next_unassigned_lid: int
 
 
-@dataclass
+@dataclass(slots=True)
 class HeadRequest:
     """Client → maintainer: what is the head of the log (HL)?"""
 
     request_id: int
 
 
-@dataclass
+@dataclass(slots=True)
 class HeadReply:
     request_id: int
     head_lid: int
@@ -139,7 +139,7 @@ class HeadReply:
 # --------------------------------------------------------------------- #
 
 
-@dataclass
+@dataclass(slots=True)
 class IndexUpdate(Payload):
     """Maintainer → indexer: tag postings for newly stored records."""
 
@@ -153,7 +153,7 @@ class IndexUpdate(Payload):
         return 64 + 24 * len(self.postings)
 
 
-@dataclass
+@dataclass(slots=True)
 class LookupRequest:
     """Client → indexer: find LIds matching a tag rule (§5.3)."""
 
@@ -166,7 +166,7 @@ class LookupRequest:
     max_lid: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class LookupReply:
     request_id: int
     lids: List[int] = field(default_factory=list)
@@ -178,14 +178,14 @@ class LookupReply:
 # --------------------------------------------------------------------- #
 
 
-@dataclass
+@dataclass(slots=True)
 class SessionRequest:
     """Client → controller: initiate a session (§5.1)."""
 
     request_id: int
 
 
-@dataclass
+@dataclass(slots=True)
 class SessionInfo:
     """Controller → client: cluster metadata for the session.
 
@@ -204,7 +204,7 @@ class SessionInfo:
     suggested_maintainer: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadReport:
     """Maintainer → controller: approximate load feedback (§5.2)."""
 
@@ -213,14 +213,14 @@ class LoadReport:
     appends_per_second: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class PruneIndexBelow:
     """GC coordinator → indexer: drop postings for collected positions."""
 
     below_lid: int
 
 
-@dataclass
+@dataclass(slots=True)
 class GcReport:
     """Maintainer → GC coordinator: my collection floor after a truncate."""
 
@@ -228,7 +228,7 @@ class GcReport:
     gc_floor: int
 
 
-@dataclass
+@dataclass(slots=True)
 class TruncateBelow:
     """GC coordinator → maintainer/indexer: drop state below the frontier.
 

@@ -20,6 +20,7 @@ from ..chariots import messages as cmsg
 from ..core.record import AppendResult, LogEntry, ReadRules, Record, RecordId
 from ..core.errors import NetworkProtocolError
 from ..flstore import messages as fmsg
+from ..runtime.messages import RecordBatch
 
 # --------------------------------------------------------------------- #
 # Core value types with bespoke encodings
@@ -120,6 +121,8 @@ _MESSAGE_TYPES: Tuple[Type, ...] = (
     cmsg.ShipmentAck,
     cmsg.PeerVector,
     cmsg.AtableSnapshot,
+    # Runtime
+    RecordBatch,
     # Baseline
     SequencerRequest,
     ReservedRange,

@@ -9,7 +9,7 @@ flush timer plays in the in-process runtimes).
 from __future__ import annotations
 
 import asyncio
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..core.config import FLStoreConfig
 from ..flstore.range_map import OwnershipPlan

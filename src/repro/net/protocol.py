@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 import struct
 from asyncio import IncompleteReadError, StreamReader, StreamWriter
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..core.errors import NetworkProtocolError
 from ..core.record import AppendResult, LogEntry, ReadRules, Record, RecordId

@@ -18,7 +18,7 @@ from ..core.record import Record
 CONTROL_MESSAGE_BYTES = 64
 
 
-@dataclass
+@dataclass(slots=True)
 class Payload:
     """Base class for protocol messages that carry records."""
 
@@ -51,9 +51,14 @@ def wire_size_of(message: Any, record_size: int = 512) -> int:
     return CONTROL_MESSAGE_BYTES
 
 
-@dataclass
-class RecordBatch(Payload):
-    """A generic batch of records moving between pipeline stages."""
+@dataclass(slots=True)
+class RecordBatch(Payload):  # chariots: noqa=CHR002
+    """A generic batch of records moving between pipeline stages.
+
+    Handled by duck-typed :class:`Payload` consumers (capacity accounting,
+    chaos fault matching, ad-hoc test actors) rather than a dedicated
+    ``on_message`` isinstance dispatch — hence the CHR002 suppression.
+    """
 
     records: List[Record] = field(default_factory=list)
 

@@ -17,7 +17,6 @@ Each simulated machine serialises three resources:
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..core.config import MachineProfile
 from ..core.errors import ConfigurationError

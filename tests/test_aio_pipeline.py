@@ -88,7 +88,14 @@ def _codec_message_samples(record, nested, entry, cmsg, fmsg):
         cmsg.ShipmentAck("m", 1, 0, "B"),
         cmsg.PeerVector("B", {"A": 1}, matrix={"B": {"A": 1}}),
         cmsg.AtableSnapshot({"A": {"A": 1}}),
+        _record_batch_sample(record, nested),
     ]
+
+
+def _record_batch_sample(record, nested):
+    from repro.runtime.messages import RecordBatch
+
+    return RecordBatch([record, nested])
 
 
 class TestCodecCoverage:

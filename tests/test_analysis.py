@@ -1,0 +1,562 @@
+"""Tests for the project linter (``repro.analysis``).
+
+Each rule gets fixture snippets in a synthetic tree: a positive case (the
+rule fires), a negative case (clean code stays clean), a noqa-suppressed
+case, and a baselined case.  A final test asserts the committed baseline
+matches a fresh run over ``src`` — the static gates in CI depend on that
+file being honest.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import (
+    Finding,
+    apply_baseline,
+    dump_baseline,
+    load_baseline,
+    run_rules,
+    rules_by_code,
+    scan,
+)
+from repro.analysis.cli import main as analysis_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def lint(tmp_path, files, select=None):
+    """Write ``files`` under a fixture root, scan it, and run the rules."""
+    root = tmp_path / "proj"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return run_rules(scan([root]), select=select)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# --------------------------------------------------------------------- #
+# CHR001 / CHR002 — protocol exhaustiveness
+# --------------------------------------------------------------------- #
+
+_PROTO_MESSAGES = """\
+from dataclasses import dataclass
+
+@dataclass(slots=True)
+class Ping:
+    seq: int
+
+@dataclass(slots=True)
+class Pong:
+    seq: int
+
+@dataclass(slots=True)
+class Inner:
+    value: int
+
+@dataclass(slots=True)
+class Carrier:
+    inner: Inner
+
+@dataclass(slots=True)
+class Base:
+    pass
+"""
+
+_PROTO_CODEC = """\
+from typing import Tuple, Type
+from .messages import Carrier, Inner, Ping, Pong
+
+_MESSAGE_TYPES: Tuple[Type, ...] = (
+    Ping,
+    Pong,
+    Inner,
+    Carrier,
+)
+"""
+
+_PROTO_HANDLER = """\
+from .messages import Carrier, Ping, Pong
+
+class Actor:
+    def on_message(self, sender, message):
+        if isinstance(message, Ping):
+            pass
+        elif isinstance(message, (Pong, Carrier)):
+            pass
+"""
+
+
+class TestProtocolRules:
+    def test_clean_protocol_has_no_findings(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "proto/messages.py": _PROTO_MESSAGES,
+                "proto/codec.py": _PROTO_CODEC,
+                "proto/actor.py": _PROTO_HANDLER,
+            },
+            select=["CHR001", "CHR002"],
+        )
+        assert findings == []
+
+    def test_unregistered_message_dataclass_fires_chr001(self, tmp_path):
+        extra = _PROTO_MESSAGES + (
+            "\n@dataclass(slots=True)\nclass Orphan:\n    seq: int\n"
+        )
+        findings = lint(
+            tmp_path,
+            {
+                "proto/messages.py": extra,
+                "proto/codec.py": _PROTO_CODEC,
+                "proto/actor.py": _PROTO_HANDLER,
+            },
+            select=["CHR001"],
+        )
+        assert codes(findings) == ["CHR001"]
+        assert "Orphan" in findings[0].message
+
+    def test_zero_field_base_class_is_exempt(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "proto/messages.py": _PROTO_MESSAGES,
+                "proto/codec.py": _PROTO_CODEC,
+                "proto/actor.py": _PROTO_HANDLER,
+            },
+            select=["CHR001"],
+        )
+        assert findings == []  # Base has no fields and is not registered
+
+    def test_no_registry_in_scan_means_no_cross_check(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {"proto/messages.py": _PROTO_MESSAGES},
+            select=["CHR001", "CHR002"],
+        )
+        assert findings == []
+
+    def test_stale_registration_fires_chr002(self, tmp_path):
+        codec = _PROTO_CODEC.replace(
+            "    Carrier,\n", "    Carrier,\n    Ghost,\n"
+        )
+        findings = lint(
+            tmp_path,
+            {
+                "proto/messages.py": _PROTO_MESSAGES,
+                "proto/codec.py": codec,
+                "proto/actor.py": _PROTO_HANDLER,
+            },
+            select=["CHR002"],
+        )
+        assert codes(findings) == ["CHR002"]
+        assert "stale" in findings[0].message
+
+    def test_registered_but_unroutable_message_fires_chr002(self, tmp_path):
+        messages = _PROTO_MESSAGES + (
+            "\n@dataclass(slots=True)\nclass Dangling:\n    seq: int\n"
+        )
+        codec = _PROTO_CODEC.replace(
+            "    Carrier,\n", "    Carrier,\n    Dangling,\n"
+        )
+        findings = lint(
+            tmp_path,
+            {
+                "proto/messages.py": messages,
+                "proto/codec.py": codec,
+                "proto/actor.py": _PROTO_HANDLER,
+            },
+            select=["CHR002"],
+        )
+        assert codes(findings) == ["CHR002"]
+        assert "Dangling" in findings[0].message
+
+    def test_embedded_value_type_is_routable(self, tmp_path):
+        # Inner is never isinstance-dispatched but is a field of Carrier.
+        findings = lint(
+            tmp_path,
+            {
+                "proto/messages.py": _PROTO_MESSAGES,
+                "proto/codec.py": _PROTO_CODEC,
+                "proto/actor.py": _PROTO_HANDLER,
+            },
+            select=["CHR002"],
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# CHR003 — wall clock
+# --------------------------------------------------------------------- #
+
+
+class TestWallClockRule:
+    def test_time_time_in_sim_scope_fires(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {"sim/clock.py": "import time\n\ndef now():\n    return time.time()\n"},
+            select=["CHR003"],
+        )
+        assert codes(findings) == ["CHR003"]
+        assert "time.time" in findings[0].message
+
+    def test_aliased_import_is_resolved(self, tmp_path):
+        source = "from time import perf_counter as pc\n\ndef now():\n    return pc()\n"
+        findings = lint(tmp_path, {"chariots/x.py": source}, select=["CHR003"])
+        assert codes(findings) == ["CHR003"]
+
+    def test_wall_clock_outside_sim_scope_is_fine(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {"bench/timer.py": "import time\n\ndef now():\n    return time.time()\n"},
+            select=["CHR003"],
+        )
+        assert findings == []
+
+    def test_noqa_suppresses_the_line(self, tmp_path):
+        source = (
+            "import time\n\n"
+            "def now():\n"
+            "    return time.time()  # chariots: noqa=CHR003\n"
+        )
+        findings = lint(tmp_path, {"sim/clock.py": source}, select=["CHR003"])
+        assert findings == []
+
+    def test_bare_noqa_suppresses_all_codes(self, tmp_path):
+        source = (
+            "import time, random\n\n"
+            "def jitter():\n"
+            "    return time.time() + random.random()  # chariots: noqa\n"
+        )
+        findings = lint(
+            tmp_path, {"sim/clock.py": source}, select=["CHR003", "CHR004"]
+        )
+        assert findings == []
+
+    def test_noqa_for_other_code_does_not_suppress(self, tmp_path):
+        source = (
+            "import time\n\n"
+            "def now():\n"
+            "    return time.time()  # chariots: noqa=CHR004\n"
+        )
+        findings = lint(tmp_path, {"sim/clock.py": source}, select=["CHR003"])
+        assert codes(findings) == ["CHR003"]
+
+
+# --------------------------------------------------------------------- #
+# CHR004 — unseeded randomness
+# --------------------------------------------------------------------- #
+
+
+class TestUnseededRandomRule:
+    def test_global_random_fires(self, tmp_path):
+        source = "import random\n\ndef roll():\n    return random.random()\n"
+        findings = lint(tmp_path, {"chaos/dice.py": source}, select=["CHR004"])
+        assert codes(findings) == ["CHR004"]
+
+    def test_unseeded_random_instance_fires(self, tmp_path):
+        source = "import random\n\nrng = random.Random()\n"
+        findings = lint(tmp_path, {"chaos/dice.py": source}, select=["CHR004"])
+        assert codes(findings) == ["CHR004"]
+        assert "without a seed" in findings[0].message
+
+    def test_seeded_random_instance_is_fine(self, tmp_path):
+        source = "import random\n\nrng = random.Random(42)\n"
+        findings = lint(tmp_path, {"chaos/dice.py": source}, select=["CHR004"])
+        assert findings == []
+
+    def test_os_urandom_fires(self, tmp_path):
+        source = "import os\n\ndef token():\n    return os.urandom(8)\n"
+        findings = lint(tmp_path, {"flstore/token.py": source}, select=["CHR004"])
+        assert codes(findings) == ["CHR004"]
+
+
+# --------------------------------------------------------------------- #
+# CHR005 — iteration order
+# --------------------------------------------------------------------- #
+
+
+class TestIterationOrderRule:
+    def test_iterating_a_set_call_fires(self, tmp_path):
+        source = "def f(items):\n    for x in set(items):\n        print(x)\n"
+        findings = lint(tmp_path, {"sim/iter.py": source}, select=["CHR005"])
+        assert codes(findings) == ["CHR005"]
+
+    def test_sorted_set_is_fine(self, tmp_path):
+        source = "def f(items):\n    for x in sorted(set(items)):\n        print(x)\n"
+        findings = lint(tmp_path, {"sim/iter.py": source}, select=["CHR005"])
+        assert findings == []
+
+    def test_unsorted_listdir_fires(self, tmp_path):
+        source = "import os\n\ndef f(d):\n    for x in os.listdir(d):\n        print(x)\n"
+        findings = lint(tmp_path, {"flstore/scan.py": source}, select=["CHR005"])
+        assert codes(findings) == ["CHR005"]
+
+    def test_sorted_listdir_is_fine(self, tmp_path):
+        source = (
+            "import os\n\ndef f(d):\n    for x in sorted(os.listdir(d)):\n"
+            "        print(x)\n"
+        )
+        findings = lint(tmp_path, {"flstore/scan.py": source}, select=["CHR005"])
+        assert findings == []
+
+    def test_set_comprehension_generator_fires(self, tmp_path):
+        source = "def f(items):\n    return [x for x in {i for i in items}]\n"
+        findings = lint(tmp_path, {"core/comp.py": source}, select=["CHR005"])
+        assert codes(findings) == ["CHR005"]
+
+
+# --------------------------------------------------------------------- #
+# CHR006 — blocking calls in async defs
+# --------------------------------------------------------------------- #
+
+
+class TestBlockingAsyncRule:
+    def test_time_sleep_in_async_net_handler_fires(self, tmp_path):
+        source = (
+            "import time\n\nasync def handle():\n    time.sleep(1)\n"
+        )
+        findings = lint(tmp_path, {"net/srv.py": source}, select=["CHR006"])
+        assert codes(findings) == ["CHR006"]
+        assert "asyncio.sleep" in findings[0].message
+
+    def test_asyncio_sleep_is_fine(self, tmp_path):
+        source = "import asyncio\n\nasync def handle():\n    await asyncio.sleep(1)\n"
+        findings = lint(tmp_path, {"net/srv.py": source}, select=["CHR006"])
+        assert findings == []
+
+    def test_sync_def_in_net_is_not_checked(self, tmp_path):
+        source = "import time\n\ndef warmup():\n    time.sleep(1)\n"
+        findings = lint(tmp_path, {"net/srv.py": source}, select=["CHR006"])
+        assert findings == []
+
+    def test_async_blocking_outside_net_is_out_of_scope(self, tmp_path):
+        source = "import time\n\nasync def handle():\n    time.sleep(1)\n"
+        findings = lint(tmp_path, {"apps/app.py": source}, select=["CHR006"])
+        assert findings == []
+
+    def test_open_inside_async_fires_once(self, tmp_path):
+        source = (
+            "async def handle(path):\n"
+            "    async def inner():\n"
+            "        return open(path).read()\n"
+            "    return await inner()\n"
+        )
+        findings = lint(tmp_path, {"net/srv.py": source}, select=["CHR006"])
+        assert codes(findings) == ["CHR006"]  # deduped across nesting
+
+
+# --------------------------------------------------------------------- #
+# CHR007 — slots on hot-path dataclasses
+# --------------------------------------------------------------------- #
+
+
+class TestSlotsRule:
+    def test_bare_dataclass_in_messages_module_fires(self, tmp_path):
+        source = (
+            "from dataclasses import dataclass\n\n"
+            "@dataclass\nclass Envelope:\n    seq: int\n"
+        )
+        findings = lint(tmp_path, {"proto/messages.py": source}, select=["CHR007"])
+        assert codes(findings) == ["CHR007"]
+
+    def test_slots_true_is_fine(self, tmp_path):
+        source = (
+            "from dataclasses import dataclass\n\n"
+            "@dataclass(slots=True)\nclass Envelope:\n    seq: int\n"
+        )
+        findings = lint(tmp_path, {"proto/messages.py": source}, select=["CHR007"])
+        assert findings == []
+
+    def test_explicit_slots_assignment_is_fine(self, tmp_path):
+        source = (
+            "from dataclasses import dataclass\n\n"
+            "@dataclass\nclass Base:\n    __slots__ = ()\n"
+        )
+        findings = lint(tmp_path, {"proto/messages.py": source}, select=["CHR007"])
+        assert findings == []
+
+    def test_non_messages_module_is_out_of_scope(self, tmp_path):
+        source = (
+            "from dataclasses import dataclass\n\n"
+            "@dataclass\nclass Config:\n    value: int\n"
+        )
+        findings = lint(tmp_path, {"proto/config.py": source}, select=["CHR007"])
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# CHR008 — typed public API
+# --------------------------------------------------------------------- #
+
+
+class TestTypedApiRule:
+    def test_missing_return_annotation_fires(self, tmp_path):
+        source = "def head(log):\n    return log[-1]\n"
+        findings = lint(tmp_path, {"core/log.py": source}, select=["CHR008"])
+        assert len(findings) == 2  # return + parameter
+        assert all(f.code == "CHR008" for f in findings)
+
+    def test_fully_annotated_def_is_fine(self, tmp_path):
+        source = "def head(log: list) -> int:\n    return log[-1]\n"
+        findings = lint(tmp_path, {"core/log.py": source}, select=["CHR008"])
+        assert findings == []
+
+    def test_private_defs_and_untyped_packages_are_exempt(self, tmp_path):
+        source = "def _internal(x):\n    return x\n"
+        findings = lint(
+            tmp_path,
+            {"core/log.py": source, "sim/free.py": "def f(x):\n    return x\n"},
+            select=["CHR008"],
+        )
+        assert findings == []
+
+    def test_self_is_not_required_to_be_annotated(self, tmp_path):
+        source = (
+            "class Log:\n"
+            "    def head(self) -> int:\n"
+            "        return 0\n"
+        )
+        findings = lint(tmp_path, {"flstore/log.py": source}, select=["CHR008"])
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# Baseline mechanics
+# --------------------------------------------------------------------- #
+
+
+class TestBaseline:
+    def _finding(self, message="wall-clock call time.time()"):
+        return Finding("CHR003", "sim/clock.py", 4, 11, message)
+
+    def test_round_trip(self, tmp_path):
+        findings = [self._finding(), self._finding()]
+        path = tmp_path / "baseline.json"
+        path.write_text(dump_baseline(findings))
+        assert load_baseline(path) == {findings[0].fingerprint(): 2}
+
+    def test_apply_baseline_respects_multiplicity(self):
+        findings = [self._finding(), self._finding(), self._finding()]
+        baseline = {self._finding().fingerprint(): 2}
+        fresh, suppressed = apply_baseline(findings, baseline)
+        assert suppressed == 2
+        assert len(fresh) == 1
+
+    def test_baseline_is_line_number_independent(self):
+        moved = Finding("CHR003", "sim/clock.py", 99, 0, self._finding().message)
+        fresh, suppressed = apply_baseline(
+            [moved], {self._finding().fingerprint(): 1}
+        )
+        assert fresh == [] and suppressed == 1
+
+    def test_missing_baseline_file_loads_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+    def test_baselined_fixture_run_exits_clean(self, tmp_path, capsys):
+        root = tmp_path / "proj" / "sim"
+        root.mkdir(parents=True)
+        (root / "clock.py").write_text(
+            "import time\n\ndef now():\n    return time.time()\n"
+        )
+        baseline_path = tmp_path / "baseline.json"
+        # First run writes the baseline; second run is clean against it.
+        assert (
+            analysis_main(
+                [
+                    str(tmp_path / "proj"),
+                    "--baseline",
+                    str(baseline_path),
+                    "--write-baseline",
+                ]
+            )
+            == 0
+        )
+        assert (
+            analysis_main(
+                [str(tmp_path / "proj"), "--baseline", str(baseline_path)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        root = tmp_path / "proj"
+        root.mkdir()
+        (root / "ok.py").write_text("X = 1\n")
+        assert analysis_main([str(root)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one_and_render_locations(self, tmp_path, capsys):
+        root = tmp_path / "proj" / "sim"
+        root.mkdir(parents=True)
+        (root / "clock.py").write_text(
+            "import time\n\ndef now():\n    return time.time()\n"
+        )
+        assert analysis_main([str(tmp_path / "proj")]) == 1
+        out = capsys.readouterr().out
+        assert "sim/clock.py:4" in out and "CHR003" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        root = tmp_path / "proj" / "sim"
+        root.mkdir(parents=True)
+        (root / "clock.py").write_text(
+            "import time\n\ndef now():\n    return time.time()\n"
+        )
+        assert analysis_main([str(tmp_path / "proj"), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["code"] == "CHR003"
+
+    def test_select_unknown_code_is_usage_error(self, tmp_path, capsys):
+        root = tmp_path / "proj"
+        root.mkdir()
+        (root / "ok.py").write_text("X = 1\n")
+        assert analysis_main([str(root), "--select", "CHR999"]) == 2
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        assert analysis_main([str(tmp_path / "missing")]) == 2
+
+    def test_list_rules_names_every_code(self, capsys):
+        assert analysis_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in rules_by_code():
+            assert code in out
+
+
+# --------------------------------------------------------------------- #
+# The committed tree and baseline
+# --------------------------------------------------------------------- #
+
+
+class TestCommittedTree:
+    def test_src_is_clean_under_every_rule(self):
+        findings = run_rules(scan([REPO_ROOT / "src"]))
+        assert findings == [], [f.render() for f in findings]
+
+    def test_committed_baseline_matches_fresh_run(self):
+        committed = (REPO_ROOT / "analysis-baseline.json").read_text()
+        fresh = dump_baseline(run_rules(scan([REPO_ROOT / "src"])))
+        assert committed == fresh
+
+    def test_protocol_and_determinism_rules_need_no_baseline(self):
+        """The acceptance bar: CHR001/CHR002 (protocol) and CHR003-CHR005
+        (determinism) pass with an empty baseline on the real tree."""
+        findings = run_rules(
+            scan([REPO_ROOT / "src"]),
+            select=["CHR001", "CHR002", "CHR003", "CHR004", "CHR005"],
+        )
+        assert findings == []

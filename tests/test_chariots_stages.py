@@ -1,32 +1,20 @@
 """Unit tests for the individual pipeline stages (§6.2)."""
 
-import pytest
 
 from repro.chariots.batcher import Batcher
 from repro.chariots.filters import FilterMap
 from repro.chariots.gc import GcCoordinator
-from repro.chariots.messages import (
-    AdmittedBatch,
-    DraftBatch,
-    DraftRecord,
-    FilterBatch,
-    PeerVector,
-    ReplicationShipment,
-    ShipmentAck,
-    Token,
-    TokenPass,
-)
+from repro.chariots.messages import AdmittedBatch, DraftBatch, DraftRecord, FilterBatch, PeerVector, ShipmentAck
 from repro.chariots.queues import QueueStage
 from repro.chariots.receiver import Receiver
 from repro.chariots.sender import Sender
 from repro.core import PipelineConfig
 from repro.flstore.maintainer import LogMaintainer
-from repro.flstore.messages import PlaceRecords, ReadNewReply
 from repro.flstore.range_map import OwnershipPlan
 from repro.runtime import LocalRuntime
 from repro.sim.workload import SinkActor
 
-from conftest import chain, rec
+from conftest import rec
 
 
 def draft(client, seq, body=None):

@@ -1,6 +1,5 @@
 """Whole-deployment determinism and public-API sanity."""
 
-import pytest
 
 import repro
 from repro.chariots import ChariotsDeployment

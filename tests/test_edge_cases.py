@@ -1,7 +1,6 @@
 """Edge-case tests across subsystems: overflow paths, override hooks,
 control-plane refresh after elasticity, heartbeat-only replication."""
 
-import pytest
 
 from repro.chariots import ChariotsDeployment
 from repro.chariots.elasticity import expand_maintainers

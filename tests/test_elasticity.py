@@ -9,7 +9,7 @@ from repro.chariots.elasticity import (
     expand_maintainers,
     expand_queues,
 )
-from repro.core import ConfigurationError, DeploymentSpec, causal_order_respected
+from repro.core import ConfigurationError, causal_order_respected
 from repro.runtime import LocalRuntime
 
 

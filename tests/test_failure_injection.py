@@ -6,7 +6,6 @@ journal-based maintainer recovery under the same address, and continued
 availability plus catch-up around datacenter outages.
 """
 
-import pytest
 
 from repro.chariots import ChariotsDeployment
 from repro.core import causal_order_respected

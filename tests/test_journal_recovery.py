@@ -2,7 +2,6 @@
 
 import os
 
-import pytest
 
 from repro.flstore import (
     FileJournal,

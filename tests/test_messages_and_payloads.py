@@ -1,6 +1,5 @@
 """Tests for message payload sizing (the simulator's accounting inputs)."""
 
-import pytest
 
 from repro.chariots.messages import (
     AdmittedBatch,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.chariots import ChariotsDeployment
-from repro.core import DeploymentSpec, ReadRules, RecordId, causal_order_respected
+from repro.core import ReadRules, RecordId, causal_order_respected
 from repro.runtime import LocalRuntime, random_latency
 
 
@@ -155,7 +155,6 @@ class TestExactlyOnce:
 
 class TestPartitionTolerance:
     def test_datacenters_stay_available_during_partition(self):
-        from repro.runtime import partitioned
 
         block = {"on": True}
 

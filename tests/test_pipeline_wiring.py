@@ -1,10 +1,8 @@
 """Tests for pipeline construction and wiring details (repro.chariots.pipeline)."""
 
-import pytest
 
 from repro.chariots import ChariotsDeployment, DatacenterPipeline
 from repro.core import DeploymentSpec, PipelineConfig
-from repro.runtime import LocalRuntime
 
 
 class TestStageCounts:

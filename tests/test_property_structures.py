@@ -5,7 +5,6 @@ from hypothesis import given, settings, strategies as st
 from repro.core import CausalFrontier, DeferredQueue, LogStore, causal_order_respected
 from repro.core.causality import topological_causal_sort
 from repro.core.errors import DuplicateRecordError
-from repro.core.record import Record
 from repro.chariots.filters import FilterCore, FilterMap
 from repro.flstore import MaintainerCore, OwnershipPlan
 

@@ -165,7 +165,6 @@ class TestSimRuntime:
         assert runtime.now > 0  # time passed: latency + NIC + CPU
 
     def test_throughput_capped_by_cpu(self):
-        from repro.flstore.messages import AppendRequest
         from conftest import rec
 
         runtime = SimRuntime()

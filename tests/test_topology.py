@@ -1,7 +1,6 @@
 """Partial replication topologies and transitive shipping (§6.1's
 Replicated-Dictionary-style propagation, extended to the pipeline)."""
 
-import pytest
 
 from repro.chariots import ChariotsDeployment
 from repro.core import PipelineConfig, causal_order_respected

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test chaos bench-smoke bench-reports lint analysis ruff mypy baseline
+.PHONY: check test chaos bench-smoke bench-reports lint analysis ruff mypy baseline graph
 
 ## Tier-1 gate: the full test suite plus a seconds-scale bench smoke.
 check: test bench-smoke
@@ -19,6 +19,11 @@ analysis:
 ## fix findings instead where possible; tests assert the file is fresh).
 baseline:
 	$(PYTHON) -m repro.analysis src --baseline analysis-baseline.json --write-baseline
+
+## Dump the message-flow graph extracted by the project model (JSON on
+## stdout; `--graph dot` renders for GraphViz — see docs/ANALYSIS.md).
+graph:
+	$(PYTHON) -m repro.analysis src --graph json
 
 ruff:
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \

@@ -15,11 +15,28 @@ CHR005    determinism-iteration-order  no set/listdir iteration-order leaks
 CHR006    async-blocking               no blocking calls in net/ async defs
 CHR007    missing-slots                hot-path dataclasses are slotted
 CHR008    untyped-public-api           typed packages stay fully annotated
+CHR009    unbounded-stage-buffer       on_message-reachable buffers carry an
+                                       enforced or declared high-water mark
+CHR010    await-atomicity              no read-await-write races on instance
+                                       state in net/ coroutines
+CHR011    request-dispatch-gap         dict-request types sent ↔ handled by
+                                       the net/ servers, both directions
+CHR012    orphan-message               no unroutable constructions, no dead
+                                       codec registrations
+CHR013    swallowed-exception          pipeline stages never silently drop a
+                                       broad exception
 ========  ===========================  =====================================
 
+CHR001/CHR002 and CHR009–CHR013 read a shared, memoised whole-project model
+(message-flow graph + interprocedural dataflow; see
+:mod:`repro.analysis.model` and :mod:`repro.analysis.dataflow`), which
+``--graph {json,dot}`` dumps for docs and debugging.
+
 Suppression: ``# chariots: noqa=CHR003`` on the offending line (comma list
-or bare ``noqa`` for all codes).  Legacy debt lives in a committed baseline
-file (``--baseline``); see docs/ANALYSIS.md for the workflow.
+or bare ``noqa`` for all codes); CHR009 additionally accepts a structured
+``# chariots: bounded-by=<invariant>`` declaration.  Legacy debt lives in a
+committed baseline file (``--baseline``); see docs/ANALYSIS.md for the
+workflow.
 
 The package is pure stdlib and never imports the code it scans, so it runs
 identically on the real tree and on synthetic fixtures in the tests.
@@ -30,6 +47,7 @@ from __future__ import annotations
 from .baseline import apply_baseline, dump_baseline, load_baseline, write_baseline
 from .cli import main, run_rules
 from .findings import Finding
+from .model import ProjectModel, build_model
 from .project import ModuleInfo, ProjectInfo, scan
 from .rules import ALL_RULES, Rule, rules_by_code
 
@@ -38,8 +56,10 @@ __all__ = [
     "Finding",
     "ModuleInfo",
     "ProjectInfo",
+    "ProjectModel",
     "Rule",
     "apply_baseline",
+    "build_model",
     "dump_baseline",
     "load_baseline",
     "main",

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 
 from .baseline import apply_baseline, load_baseline, write_baseline
 from .findings import Finding
+from .model import build_model
 from .noqa import is_suppressed
 from .project import ProjectInfo, scan
 from .rules import ALL_RULES, rules_by_code
@@ -113,6 +114,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true", help="describe every rule and exit"
     )
+    parser.add_argument(
+        "--graph",
+        choices=("json", "dot"),
+        metavar="{json,dot}",
+        help="dump the message-flow graph (messages + request types, with "
+        "construction/dispatch/send/handle sites) instead of linting",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -132,6 +140,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     project = scan(paths)
+
+    if args.graph:
+        model = build_model(project)
+        output = model.graph_json() if args.graph == "json" else model.graph_dot()
+        print(output, end="")
+        return 0
+
     try:
         findings = run_rules(project, select)
     except ValueError as exc:

@@ -1,0 +1,276 @@
+"""Lightweight interprocedural dataflow over actor/coroutine bodies.
+
+Two cross-method facts power the concurrency rules:
+
+* an **intra-class call graph** (``self.m()`` edges) plus its transitive
+  closure, so CHR009 can tell whether a buffer-appending helper is reachable
+  from the ``on_message`` hot path;
+* an **execution-ordered event stream** per method — attribute reads/writes
+  on ``self``, ``await`` points, and lock-guarded regions — with one-level
+  splicing of same-class ``self.m()`` calls, so CHR010 can spot the
+  read-before-await / write-after-await race shape across helper boundaries.
+
+The event walk is deliberately lexical (no path sensitivity): branches and
+loops are traversed in source order.  That over-approximates interleavings,
+which is the right direction for a race detector — a read and a write that
+*can* straddle an await in some path should be flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Union
+
+AnyFunc = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Event kinds: ``read``/``write`` of a ``self`` attribute, an ``await``
+#: point, or an unresolved ``self.m(...)`` call placeholder.
+READ = "read"
+WRITE = "write"
+AWAIT = "await"
+CALL = "call"
+
+
+@dataclass(slots=True)
+class Event:
+    kind: str
+    attr: str  #: attribute or callee name; empty for awaits
+    line: int
+    col: int
+    locked: bool
+
+
+def class_methods(cls: ast.ClassDef) -> Dict[str, AnyFunc]:
+    """Methods defined directly on the class, by name."""
+    methods: Dict[str, AnyFunc] = {}
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods[stmt.name] = stmt
+    return methods
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _is_lock_context(node: ast.AST) -> bool:
+    """``self._lock`` (or any self attribute naming a lock) as a context."""
+    return isinstance(node, ast.Attribute) and _is_self_attr(node) and (
+        "lock" in node.attr.lower()
+    )
+
+
+class _EventWalker:
+    """Collect :class:`Event` objects in execution order for one method."""
+
+    def __init__(self, method_names: Iterable[str]) -> None:
+        self._methods = set(method_names)
+        self.events: List[Event] = []
+
+    def _emit(self, kind: str, attr: str, node: ast.AST, locked: bool) -> None:
+        # Reads of method attributes (``await self.close()``) are call
+        # plumbing, not shared-state access.
+        if kind in (READ, WRITE) and attr in self._methods:
+            return
+        self.events.append(
+            Event(kind, attr, node.lineno, node.col_offset, locked)
+        )
+
+    def walk_body(self, body: Sequence[ast.stmt], locked: bool) -> None:
+        for stmt in body:
+            self._stmt(stmt, locked)
+
+    def _stmt(self, node: ast.stmt, locked: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scope: different execution context
+        if isinstance(node, ast.Assign):
+            self._expr(node.value, locked)
+            for target in node.targets:
+                self._expr(target, locked)
+        elif isinstance(node, ast.AugAssign):
+            self._expr(node.value, locked)
+            # ``self.x += v`` both reads and writes x.
+            if _is_self_attr(node.target):
+                assert isinstance(node.target, ast.Attribute)
+                self._emit(READ, node.target.attr, node.target, locked)
+                self._emit(WRITE, node.target.attr, node.target, locked)
+            else:
+                self._expr(node.target, locked)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._expr(node.value, locked)
+            self._expr(node.target, locked)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            body_locked = locked
+            for item in node.items:
+                self._expr(item.context_expr, locked)
+                if _is_lock_context(item.context_expr):
+                    body_locked = True
+            if isinstance(node, ast.AsyncWith):
+                # ``async with`` awaits ``__aenter__`` before the body runs.
+                self._emit(AWAIT, "", node, locked)
+            self.walk_body(node.body, body_locked)
+        elif isinstance(node, ast.If):
+            self._expr(node.test, locked)
+            self.walk_body(node.body, locked)
+            self.walk_body(node.orelse, locked)
+        elif isinstance(node, ast.While):
+            self._expr(node.test, locked)
+            self.walk_body(node.body, locked)
+            self.walk_body(node.orelse, locked)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self._expr(node.iter, locked)
+            self._expr(node.target, locked)
+            if isinstance(node, ast.AsyncFor):
+                self._emit(AWAIT, "", node, locked)
+            self.walk_body(node.body, locked)
+            self.walk_body(node.orelse, locked)
+        elif isinstance(node, ast.Try):
+            self.walk_body(node.body, locked)
+            for handler in node.handlers:
+                self.walk_body(handler.body, locked)
+            self.walk_body(node.orelse, locked)
+            self.walk_body(node.finalbody, locked)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self._expr(node.value, locked)
+        elif isinstance(node, (ast.Expr, ast.Await)):
+            self._expr(node.value, locked)
+        elif isinstance(node, ast.Raise):
+            if node.exc is not None:
+                self._expr(node.exc, locked)
+            if node.cause is not None:
+                self._expr(node.cause, locked)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if _is_self_attr(target):
+                    assert isinstance(target, ast.Attribute)
+                    self._emit(WRITE, target.attr, target, locked)
+                else:
+                    self._expr(target, locked)
+        elif isinstance(node, (ast.Assert, ast.Match)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._expr(child, locked)
+                elif isinstance(child, ast.stmt):
+                    self._stmt(child, locked)
+        # Pass/Break/Continue/Import/Global/Nonlocal: no events.
+
+    def _expr(self, node: ast.expr, locked: bool) -> None:
+        if isinstance(node, ast.Await):
+            self._expr(node.value, locked)
+            self._emit(AWAIT, "", node, locked)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            is_self_call = _is_self_attr(func)
+            if not is_self_call:
+                self._expr(func, locked)
+            for arg in node.args:
+                self._expr(arg, locked)
+            for keyword in node.keywords:
+                self._expr(keyword.value, locked)
+            if is_self_call:
+                assert isinstance(func, ast.Attribute)
+                if func.attr in self._methods:
+                    self._emit(CALL, func.attr, node, locked)
+                else:
+                    # ``self.loop.schedule(...)`` resolves through a data
+                    # attribute; ``self.cb(...)`` calls a stored callable —
+                    # both read the attribute.
+                    self._emit(READ, func.attr, func, locked)
+        elif isinstance(node, ast.Attribute):
+            if _is_self_attr(node):
+                kind = WRITE if isinstance(node.ctx, ast.Store) else READ
+                self._emit(kind, node.attr, node, locked)
+            else:
+                self._expr(node.value, locked)
+        elif isinstance(node, (ast.Lambda,)):
+            return  # deferred execution
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            # Comprehensions run inline (generators lazily, but their reads
+            # still belong to this coroutine); walk generically.
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._expr(child, locked)
+                elif isinstance(child, ast.comprehension):
+                    self._expr(child.iter, locked)
+                    self._expr(child.target, locked)
+                    for cond in child.ifs:
+                        self._expr(cond, locked)
+        else:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._expr(child, locked)
+                elif isinstance(child, ast.keyword):
+                    self._expr(child.value, locked)
+
+
+def method_events(func: AnyFunc, method_names: Iterable[str]) -> List[Event]:
+    """Execution-ordered events for one method (unexpanded ``call``s)."""
+    walker = _EventWalker(method_names)
+    walker.walk_body(func.body, locked=False)
+    return walker.events
+
+
+def expand_events(
+    events: List[Event], summaries: Dict[str, List[Event]]
+) -> List[Event]:
+    """Splice same-class callee event lists in, one level deep.
+
+    The callee's events are inserted verbatim at the call site (preserving
+    their internal order, which matters: a helper that writes *before* its
+    await must not look like it writes after).  Nested ``call`` placeholders
+    inside the spliced events are dropped rather than recursed into.
+    """
+    result: List[Event] = []
+    for event in events:
+        if event.kind != CALL:
+            result.append(event)
+            continue
+        for inner in summaries.get(event.attr, ()):
+            if inner.kind == CALL:
+                continue
+            result.append(
+                Event(
+                    inner.kind,
+                    inner.attr,
+                    inner.line,
+                    inner.col,
+                    inner.locked or event.locked,
+                )
+            )
+    return result
+
+
+def self_call_graph(cls: ast.ClassDef) -> Dict[str, Set[str]]:
+    """``method -> set of same-class methods it calls via self``."""
+    methods = class_methods(cls)
+    graph: Dict[str, Set[str]] = {name: set() for name in methods}
+    for name, func in methods.items():
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Call)
+                and _is_self_attr(node.func)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in methods
+            ):
+                graph[name].add(node.func.attr)
+    return graph
+
+
+def reachable_from(graph: Dict[str, Set[str]], roots: Iterable[str]) -> Set[str]:
+    """Transitive closure of the call graph from ``roots`` (inclusive)."""
+    seen: Set[str] = set()
+    stack = [root for root in roots if root in graph]
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        stack.extend(graph.get(name, ()) - seen)
+    return seen

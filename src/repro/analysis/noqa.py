@@ -16,9 +16,15 @@ from typing import Dict, FrozenSet, Optional
 #: ``line number (1-based) -> suppressed codes`` (``None`` = all codes).
 NoqaMap = Dict[int, Optional[FrozenSet[str]]]
 
+#: ``line number (1-based) -> declared bound`` for CHR009's
+#: ``# chariots: bounded-by=<reason>`` directive.
+BoundedMap = Dict[int, str]
+
 _NOQA_RE = re.compile(
     r"#\s*chariots:\s*noqa(?:\s*=\s*(?P<codes>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*))?",
 )
+
+_BOUNDED_RE = re.compile(r"#\s*chariots:\s*bounded-by\s*=\s*(?P<reason>[\w.\-]+)")
 
 
 def collect_noqa(source: str) -> NoqaMap:
@@ -35,6 +41,26 @@ def collect_noqa(source: str) -> NoqaMap:
             result[lineno] = None
         else:
             result[lineno] = frozenset(c.strip() for c in codes.split(","))
+    return result
+
+
+def collect_bounded(source: str) -> BoundedMap:
+    """Map ``# chariots: bounded-by=<reason>`` declarations by line number.
+
+    The directive is CHR009's structured escape hatch: it asserts that a
+    buffer which *looks* unbounded is in fact bounded by an external
+    invariant (named by ``<reason>``), and is accepted on either the
+    buffer's initialising assignment or the appending line.  Unlike a bare
+    ``noqa`` it forces the author to name the invariant, which keeps
+    declared bounds greppable (``grep -rn "bounded-by" src/``).
+    """
+    result: BoundedMap = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line or "bounded-by" not in line:
+            continue
+        match = _BOUNDED_RE.search(line)
+        if match is not None:
+            result[lineno] = match.group("reason")
     return result
 
 

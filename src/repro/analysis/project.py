@@ -13,9 +13,9 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from .noqa import NoqaMap, collect_noqa
+from .noqa import BoundedMap, NoqaMap, collect_bounded, collect_noqa
 
 #: Directory names never descended into.
 _SKIP_DIRS = {"__pycache__", ".git", ".hg", ".venv", "venv", "node_modules"}
@@ -34,6 +34,8 @@ class ModuleInfo:
     #: ``import time as t`` maps ``t -> time``; ``from time import
     #: perf_counter`` maps ``perf_counter -> time.perf_counter``.
     imports: Dict[str, str] = field(default_factory=dict)
+    #: line number -> ``# chariots: bounded-by=<reason>`` declarations.
+    bounded: BoundedMap = field(default_factory=dict)
 
     @property
     def dir_parts(self) -> Tuple[str, ...]:
@@ -51,6 +53,11 @@ class ProjectInfo:
 
     root: Path
     modules: List[ModuleInfo] = field(default_factory=list)
+    #: Memoised :class:`~repro.analysis.model.ProjectModel` — built once per
+    #: scan by the first rule that needs the whole-project view, shared by
+    #: every later rule and the ``--graph`` dump (kept ``Any`` to avoid a
+    #: circular import with :mod:`repro.analysis.model`).
+    model_cache: Optional[Any] = field(default=None, repr=False)
 
     def __iter__(self) -> Iterator[ModuleInfo]:
         return iter(self.modules)
@@ -115,6 +122,7 @@ def parse_module(path: Path, relpath: str) -> Optional[ModuleInfo]:
         tree=tree,
         noqa=collect_noqa(source),
         imports=_import_map(tree),
+        bounded=collect_bounded(source),
     )
 
 

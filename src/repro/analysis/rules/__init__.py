@@ -12,8 +12,13 @@ from __future__ import annotations
 from typing import Dict, List, Type
 
 from .async_safety import BlockingAsyncRule
+from .atomicity import AwaitAtomicityRule
 from .base import ModuleRule, Rule
+from .buffers import UnboundedBufferRule
+from .deadcode import OrphanMessageRule
 from .determinism import IterationOrderRule, UnseededRandomRule, WallClockRule
+from .dispatch import RequestDispatchRule
+from .exceptions import SwallowedExceptionRule
 from .protocol import ProtocolDispatchRule, ProtocolRegistrationRule
 from .slots import SlotsRule
 from .typed_api import TypedApiRule
@@ -28,6 +33,11 @@ ALL_RULES: List[Type[Rule]] = [
     BlockingAsyncRule,  # CHR006
     SlotsRule,  # CHR007
     TypedApiRule,  # CHR008
+    UnboundedBufferRule,  # CHR009
+    AwaitAtomicityRule,  # CHR010
+    RequestDispatchRule,  # CHR011
+    OrphanMessageRule,  # CHR012
+    SwallowedExceptionRule,  # CHR013
 ]
 
 
@@ -45,12 +55,17 @@ __all__ = [
     "ModuleRule",
     "Rule",
     "rules_by_code",
+    "AwaitAtomicityRule",
     "BlockingAsyncRule",
     "IterationOrderRule",
+    "OrphanMessageRule",
     "ProtocolDispatchRule",
     "ProtocolRegistrationRule",
+    "RequestDispatchRule",
     "SlotsRule",
+    "SwallowedExceptionRule",
     "TypedApiRule",
+    "UnboundedBufferRule",
     "UnseededRandomRule",
     "WallClockRule",
 ]

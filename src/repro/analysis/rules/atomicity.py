@@ -1,0 +1,113 @@
+"""CHR010 — await-point atomicity in the asyncio layer.
+
+The in-process runtimes are single-threaded per actor turn, but the ``net/``
+deployment interleaves coroutines at every ``await``.  A coroutine that
+reads an instance attribute, awaits, and then writes the same attribute has
+published a stale-read window: a concurrent coroutine can observe or mutate
+the attribute mid-sequence, which silently breaks the pipeline ≡ abstract
+equivalence the paper's correctness argument rests on (§6.1).
+
+The rule walks each ``async def`` in ``net/`` in execution order (through
+one level of same-class ``self.m()`` helpers) and fires when an unlocked
+read of ``self.<attr>`` is followed by an ``await`` and then an unlocked
+write of the same attribute.  Escapes, in preference order:
+
+* restructure to write-before-await (capture-and-null:
+  ``obj, self.obj = self.obj, None`` then await on the local);
+* hold a lock — events inside ``async with self.<...lock...>`` are exempt;
+* name the method ``*_locked`` to document a caller-holds-the-lock
+  contract (the convention ``net/client.py`` already uses).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..dataflow import (
+    AWAIT,
+    READ,
+    WRITE,
+    Event,
+    class_methods,
+    expand_events,
+    method_events,
+)
+from ..findings import Finding
+from ..project import ModuleInfo
+from .base import ModuleRule
+
+#: Only the real-asyncio layer interleaves at awaits; the deterministic
+#: runtimes deliver one message per actor turn.
+ASYNC_PACKAGES: Tuple[str, ...] = ("net",)
+
+
+class AwaitAtomicityRule(ModuleRule):
+    """CHR010: no read-await-write of the same attribute without a lock."""
+
+    code = "CHR010"
+    name = "await-atomicity"
+    description = (
+        "An async method in net/ must not read an instance attribute, await, "
+        "and then write the same attribute outside a lock: the await opens a "
+        "stale-read window for every other coroutine on the loop.  Write "
+        "before awaiting (capture-and-null), hold a lock (async with "
+        "self._lock), or name the method *_locked to document the contract."
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_package(ASYNC_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: ModuleInfo, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        methods = class_methods(cls)
+        if not methods:
+            return
+        summaries: Dict[str, List[Event]] = {
+            name: method_events(func, methods) for name, func in methods.items()
+        }
+        for name, func in sorted(methods.items()):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            if name.endswith("_locked"):
+                continue  # caller-holds-the-lock contract
+            events = expand_events(summaries[name], summaries)
+            yield from self._scan(module, cls.name, name, events)
+
+    def _scan(
+        self,
+        module: ModuleInfo,
+        cls_name: str,
+        method: str,
+        events: List[Event],
+    ) -> Iterator[Finding]:
+        # First unlocked read position per attr, await positions, and the
+        # first unlocked write after a (read, await) prefix.
+        first_read: Dict[str, int] = {}
+        await_positions: List[int] = []
+        reported: Set[str] = set()
+        for pos, event in enumerate(events):
+            if event.kind == AWAIT:
+                await_positions.append(pos)
+            elif event.kind == READ and not event.locked:
+                first_read.setdefault(event.attr, pos)
+            elif event.kind == WRITE and not event.locked:
+                read_pos = first_read.get(event.attr)
+                if read_pos is None or event.attr in reported:
+                    continue
+                if any(read_pos < a < pos for a in await_positions):
+                    reported.add(event.attr)
+                    yield self.finding(
+                        module,
+                        event.line,
+                        event.col,
+                        f"self.{event.attr} is read before and written after "
+                        f"an await in {cls_name}.{method}() without a lock — "
+                        "concurrent coroutines can interleave in the window; "
+                        "write before awaiting or guard with a lock",
+                    )

@@ -1,0 +1,113 @@
+"""CHR013 — exception swallowing in pipeline stages.
+
+A stage that catches a broad exception and drops it on the floor turns a
+record loss into silence: the pipeline keeps running, the abstract solution
+diverges, and nothing in the log explains why.  In the pipeline packages
+(``chariots/``, ``flstore/``, ``runtime/``) the rule flags any bare
+``except:`` or ``except Exception/BaseException:`` whose body neither
+
+* re-raises (``raise`` anywhere in the handler), nor
+* uses the bound exception (``except Exception as exc:`` followed by any
+  reference to ``exc`` — returning it in an error reply, attaching it to a
+  journal entry), nor
+* calls something that records it (a callee whose name contains ``log``,
+  ``journal``, ``warn``, ``debug``, ``error``, ``exception``, ``record`` or
+  ``print``).
+
+Narrow excepts (``except KeyError:``) are out of scope — catching a
+specific, anticipated error is handling, not swallowing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..findings import Finding
+from ..project import ModuleInfo
+from .base import ModuleRule
+
+PIPELINE_PACKAGES: Tuple[str, ...] = ("chariots", "flstore", "runtime")
+
+_BROAD = frozenset({"Exception", "BaseException"})
+_RECORDING_HINTS = (
+    "log",
+    "journal",
+    "warn",
+    "debug",
+    "error",
+    "exception",
+    "record",
+    "print",
+)
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True  # bare except
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        name = node.attr if isinstance(node, ast.Attribute) else (
+            node.id if isinstance(node, ast.Name) else None
+        )
+        if name in _BROAD:
+            return True
+    return False
+
+
+def _handles(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body does something with the exception."""
+    for node in handler.body:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Raise):
+                return True
+            if (
+                handler.name is not None
+                and isinstance(sub, ast.Name)
+                and sub.id == handler.name
+            ):
+                return True
+            if isinstance(sub, ast.Call):
+                callee = sub.func
+                name = callee.attr if isinstance(callee, ast.Attribute) else (
+                    callee.id if isinstance(callee, ast.Name) else ""
+                )
+                if any(hint in name.lower() for hint in _RECORDING_HINTS):
+                    return True
+    return False
+
+
+class SwallowedExceptionRule(ModuleRule):
+    """CHR013: broad excepts in pipeline stages must not drop the error."""
+
+    code = "CHR013"
+    name = "swallowed-exception"
+    description = (
+        "A bare or Exception/BaseException handler in chariots/, flstore/ or "
+        "runtime/ must re-raise, use the bound exception (error reply, "
+        "journal entry), or call a logging/journaling function — silently "
+        "dropping a record's failure breaks pipeline-abstract equivalence "
+        "with no trace."
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_package(PIPELINE_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _handles(node):
+                continue
+            yield self.finding(
+                module,
+                node.lineno,
+                node.col_offset,
+                "broad exception handler silently swallows the error — "
+                "re-raise, return/journal the exception, or log it",
+            )

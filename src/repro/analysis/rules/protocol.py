@@ -3,7 +3,8 @@
 The pipeline ≡ abstract equivalence argument (PAPER.md §6.1) silently breaks
 if a message type can be constructed but not shipped (missing codec
 registration) or shipped but not understood (no handler dispatches it).
-These rules keep three artefacts in lockstep, purely from the AST:
+These rules keep three artefacts in lockstep, reading the shared
+:class:`~repro.analysis.model.ProjectModel` (built once per scan):
 
 * the **message modules** (``*/messages.py``): every public dataclass with
   at least one field is a protocol message;
@@ -20,176 +21,12 @@ other message embeds as a field (dead protocol surface).
 
 from __future__ import annotations
 
-import ast
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Iterator, Set
 
 from ..findings import Finding
-from ..project import ModuleInfo, ProjectInfo
+from ..model import build_model
+from ..project import ProjectInfo
 from .base import Rule
-
-_IDENT_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_")
-
-
-def _terminal_name(node: ast.AST) -> Optional[str]:
-    """``cmsg.DraftBatch`` -> ``DraftBatch``; ``DraftBatch`` -> itself."""
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    if isinstance(node, ast.Name):
-        return node.id
-    return None
-
-
-def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
-    for decorator in node.decorator_list:
-        target = decorator.func if isinstance(decorator, ast.Call) else decorator
-        name = _terminal_name(target)
-        if name == "dataclass":
-            return True
-    return False
-
-
-def _field_count(node: ast.ClassDef) -> int:
-    """Number of public dataclass fields declared directly on the class."""
-    count = 0
-    for stmt in node.body:
-        if not isinstance(stmt, ast.AnnAssign):
-            continue
-        target = stmt.target
-        if isinstance(target, ast.Name) and not target.id.startswith("_"):
-            annotation = ast.unparse(stmt.annotation)
-            if "ClassVar" not in annotation:
-                count += 1
-    return count
-
-
-def _annotation_names(node: ast.ClassDef) -> Set[str]:
-    """Every identifier appearing in the class's field annotations."""
-    names: Set[str] = set()
-    for stmt in node.body:
-        if not isinstance(stmt, ast.AnnAssign):
-            continue
-        for sub in ast.walk(stmt.annotation):
-            if isinstance(sub, ast.Name):
-                names.add(sub.id)
-            elif isinstance(sub, ast.Attribute):
-                names.add(sub.attr)
-            elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
-                # Forward references: "Record" inside a string annotation.
-                if sub.value and set(sub.value) <= _IDENT_CHARS:
-                    names.add(sub.value)
-    return names
-
-
-@dataclass(slots=True)
-class _MessageClass:
-    name: str
-    module: ModuleInfo
-    line: int
-    col: int
-    fields: int
-    annotation_names: Set[str]
-
-
-def _registry_entries(module: ModuleInfo) -> List[Tuple[str, int, int]]:
-    """(name, line, col) for every type registered in a codec module.
-
-    Recognises the three registration shapes used by the tagged-JSON codec:
-    the ``_MESSAGE_TYPES`` tuple, ``_BY_NAME[...] = Cls`` additions, and
-    ``_register("Name", Cls, ...)`` calls for bespoke value types.
-    """
-    entries: List[Tuple[str, int, int]] = []
-    for node in ast.walk(module.tree):
-        if isinstance(node, (ast.Assign, ast.AnnAssign)):
-            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
-            for target in targets:
-                if (
-                    isinstance(target, ast.Name)
-                    and target.id == "_MESSAGE_TYPES"
-                    and isinstance(node.value, (ast.Tuple, ast.List))
-                ):
-                    for element in node.value.elts:
-                        name = _terminal_name(element)
-                        if name:
-                            entries.append(
-                                (name, element.lineno, element.col_offset)
-                            )
-                elif (
-                    isinstance(target, ast.Subscript)
-                    and isinstance(target.value, ast.Name)
-                    and target.value.id == "_BY_NAME"
-                ):
-                    name = _terminal_name(node.value)
-                    if name:
-                        entries.append((name, node.lineno, node.col_offset))
-        elif isinstance(node, ast.Call):
-            callee = _terminal_name(node.func)
-            if callee == "_register" and len(node.args) >= 2:
-                name = _terminal_name(node.args[1])
-                if name:
-                    entries.append((name, node.lineno, node.col_offset))
-    return entries
-
-
-def _dispatched_names(project: ProjectInfo) -> Set[str]:
-    """Class names appearing in ``isinstance`` checks inside ``on_message``."""
-    dispatched: Set[str] = set()
-    for module in project:
-        for node in ast.walk(module.tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            if node.name != "on_message":
-                continue
-            for call in ast.walk(node):
-                if (
-                    isinstance(call, ast.Call)
-                    and isinstance(call.func, ast.Name)
-                    and call.func.id == "isinstance"
-                    and len(call.args) == 2
-                ):
-                    spec = call.args[1]
-                    elements = (
-                        spec.elts if isinstance(spec, (ast.Tuple, ast.List)) else [spec]
-                    )
-                    for element in elements:
-                        name = _terminal_name(element)
-                        if name:
-                            dispatched.add(name)
-    return dispatched
-
-
-def _collect(project: ProjectInfo) -> Tuple[
-    Dict[str, _MessageClass],
-    List[Tuple[ModuleInfo, str, int, int]],
-    Set[str],
-    Set[str],
-]:
-    """Shared extraction for both protocol rules."""
-    message_classes: Dict[str, _MessageClass] = {}
-    registry: List[Tuple[ModuleInfo, str, int, int]] = []
-    all_class_names: Set[str] = set()
-    for module in project:
-        is_messages = module.relpath.endswith("messages.py")
-        for node in ast.walk(module.tree):
-            if isinstance(node, ast.ClassDef):
-                all_class_names.add(node.name)
-                if (
-                    is_messages
-                    and not node.name.startswith("_")
-                    and _is_dataclass_decorated(node)
-                ):
-                    message_classes[node.name] = _MessageClass(
-                        name=node.name,
-                        module=module,
-                        line=node.lineno,
-                        col=node.col_offset,
-                        fields=_field_count(node),
-                        annotation_names=_annotation_names(node),
-                    )
-        for name, line, col in _registry_entries(module):
-            registry.append((module, name, line, col))
-    dispatched = _dispatched_names(project)
-    return message_classes, registry, all_class_names, dispatched
 
 
 class ProtocolRegistrationRule(Rule):
@@ -205,13 +42,13 @@ class ProtocolRegistrationRule(Rule):
     )
 
     def check(self, project: ProjectInfo) -> Iterator[Finding]:
-        message_classes, registry, _all_names, _dispatched = _collect(project)
-        if not registry:
+        model = build_model(project)
+        if not model.registry:
             # No codec registry in the scanned tree (e.g. a partial scan):
             # the cross-check is meaningless, stay silent.
             return
-        registered = {name for _m, name, _l, _c in registry}
-        for cls in message_classes.values():
+        registered = model.registered_names
+        for cls in model.message_classes.values():
             if cls.fields == 0:
                 continue
             if cls.name not in registered:
@@ -239,35 +76,33 @@ class ProtocolDispatchRule(Rule):
     )
 
     def check(self, project: ProjectInfo) -> Iterator[Finding]:
-        message_classes, registry, all_names, dispatched = _collect(project)
-        if not registry or not message_classes:
+        model = build_model(project)
+        if not model.registry or not model.message_classes:
             return
-        embedded: Set[str] = set()
-        for cls in message_classes.values():
-            embedded |= cls.annotation_names
+        embedded = model.embedded_annotation_names
         seen: Set[str] = set()
-        for module, name, line, col in registry:
-            if name not in all_names:
+        for entry in model.registry:
+            if entry.name not in model.all_class_names:
                 yield self.finding(
-                    module,
-                    line,
-                    col,
-                    f"registered message type {name} has no class definition "
-                    "in the scanned tree (stale registration)",
+                    entry.module,
+                    entry.line,
+                    entry.col,
+                    f"registered message type {entry.name} has no class "
+                    "definition in the scanned tree (stale registration)",
                 )
                 continue
-            if name in seen:
+            if entry.name in seen:
                 yield self.finding(
-                    module,
-                    line,
-                    col,
-                    f"message type {name} is registered more than once",
+                    entry.module,
+                    entry.line,
+                    entry.col,
+                    f"message type {entry.name} is registered more than once",
                 )
-            seen.add(name)
-        for cls in message_classes.values():
+            seen.add(entry.name)
+        for cls in model.message_classes.values():
             if cls.fields == 0 or cls.name not in seen:
                 continue
-            if cls.name in dispatched or cls.name in embedded:
+            if cls.name in model.dispatched or cls.name in embedded:
                 continue
             yield self.finding(
                 cls.module,

@@ -50,6 +50,17 @@ class Batcher(Actor):
             self.records_batched += len(message.externals)
             self._buffer_drafts(message.drafts)
             self._flush_full()
+        else:
+            return
+        # High-water mark across all per-filter buffers: a stream of small
+        # batches for many filters can stay under every per-filter flush
+        # threshold while the total grows; force a full flush at the cap.
+        if self._pending_records() >= self.config.batcher_buffer_limit:
+            self._flush_all()
+
+    def _pending_records(self) -> int:
+        """Total records currently buffered across every filter."""
+        return sum(b.record_count() for b in self._buffers.values())
 
     def _buffer_drafts(self, drafts: List[DraftRecord]) -> None:
         # Client champions are sticky, so a run of drafts from one client

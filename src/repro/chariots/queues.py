@@ -17,7 +17,7 @@ bounded set of deferred records.  The queue holding the token:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.causality import CausalFrontier, DeferredQueue
 from ..core.config import PipelineConfig
@@ -59,7 +59,11 @@ class QueueStage(Actor):
         self._token: Optional[Token] = Token() if holds_initial_token else None
         self._buffered_externals: List[Record] = []
         self._buffered_drafts: List[DraftRecord] = []
-        self._local_deferred: List[Record] = []
+        # Deferred records are awaiting causal dependencies and may not be
+        # dropped or pushed back upstream; the token ships at most
+        # token_deferred_limit of them per pass and every token visit drains
+        # the ones whose dependencies arrived.
+        self._local_deferred: List[Record] = []  # chariots: bounded-by=token-circulation
         self.records_sequenced = 0
 
     # ------------------------------------------------------------------ #
@@ -74,6 +78,20 @@ class QueueStage(Actor):
 
     def on_message(self, sender: str, message: Any) -> None:
         if isinstance(message, AdmittedBatch):
+            if (
+                self._token is None
+                and self.next_queue is not None
+                and len(self._buffered_externals) + len(self._buffered_drafts)
+                >= self.config.queue_buffer_limit
+            ):
+                # High-water mark: a token-less queue over its limit forwards
+                # the batch toward the token instead of buffering more.  The
+                # filters already round-robin batches across all queues (no
+                # per-client stickiness to preserve), delivery is event-loop
+                # mediated (no recursion), and the current token holder
+                # always accepts, so a forwarded batch terminates there.
+                self.send(self.next_queue, message)
+                return
             self._buffered_externals.extend(message.externals)
             self._buffered_drafts.extend(message.drafts)
             if self._token is not None:
@@ -154,11 +172,11 @@ class QueueStage(Actor):
         #    instead of once per record.
         if ordered:
             placements: Dict[str, PlaceRecords] = {}
-            lid_by_rid = {}
+            lid_by_rid: Dict[RecordId, int] = {}
             plan = self.plan
             lid = token.next_lid
             run_end = -1
-            target: List = []
+            target: List[Tuple[int, Record]] = []
             for record in ordered:
                 if lid >= run_end:
                     owner = plan.owner(lid)

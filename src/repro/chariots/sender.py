@@ -148,6 +148,12 @@ class Sender(Actor):
         if not self.peer_receivers:
             return  # single-datacenter deployment: nothing to replicate
         for maintainer in self.maintainers:
+            if len(self._buffer[maintainer]) >= self.config.sender_buffer_limit:
+                # High-water mark: stop pulling from the durable log until
+                # acks drain the retransmission window.  Records stay in the
+                # maintainer's log and the cursor doesn't move, so fetching
+                # resumes exactly where it paused once peers catch up.
+                continue
             request_id = next(self._request_ids)
             self._fetch_outstanding[request_id] = maintainer
             self.send(

@@ -17,7 +17,7 @@ a total order (TOIds are dense), knowing "A up to TOId 7" means every record
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .errors import DuplicateRecordError
 from .record import DatacenterId, KnowledgeVector, Record, RecordId
@@ -107,7 +107,7 @@ class DeferredQueue:
 
     def __init__(self) -> None:
         self._heap: List[Tuple[DatacenterId, int, Record]] = []
-        self._pending: set = set()
+        self._pending: Set[RecordId] = set()
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -9,7 +9,7 @@ machine profiles calibrated so a single pipeline stage machine sustains the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from .errors import ConfigurationError
 from .retry import RetryPolicy
@@ -45,6 +45,10 @@ class PipelineConfig:
     batcher_flush_threshold: int = 64
     #: Seconds after which a non-empty batcher buffer flushes regardless.
     batcher_flush_interval: float = 0.002
+    #: High-water mark on the *total* records buffered across a batcher's
+    #: per-filter buffers: reaching it forces a full flush (backpressure for
+    #: many-filter deployments where no single buffer hits the threshold).
+    batcher_buffer_limit: int = 8192
     #: Seconds the token dwells at a queue before moving on.
     token_hold_interval: float = 0.001
     #: Maximum deferred records shipped along with the token (§6.2 Queues:
@@ -54,6 +58,14 @@ class PipelineConfig:
     replication_interval: float = 0.02
     #: Records per replication shipment.
     replication_batch_limit: int = 4096
+    #: High-water mark on a queue's buffered (externals + drafts) while it
+    #: does not hold the token: past it, arriving batches are forwarded
+    #: around the ring toward the token holder instead of buffered.
+    queue_buffer_limit: int = 65_536
+    #: High-water mark on a sender's per-maintainer retransmission window:
+    #: past it, the sender stops fetching new records from that maintainer's
+    #: durable log (the fetch cursor pauses) until acks drain the window.
+    sender_buffer_limit: int = 65_536
     #: Seconds between garbage-collection sweeps (0 disables GC).
     gc_interval: float = 0.0
     #: Keep at least this many most recent LIds even when GC-eligible.
@@ -76,8 +88,16 @@ class PipelineConfig:
     def __post_init__(self) -> None:
         if self.batcher_flush_threshold < 1:
             raise ConfigurationError("batcher_flush_threshold must be >= 1")
+        if self.batcher_buffer_limit < self.batcher_flush_threshold:
+            raise ConfigurationError(
+                "batcher_buffer_limit must be >= batcher_flush_threshold"
+            )
         if self.token_deferred_limit < 0:
             raise ConfigurationError("token_deferred_limit must be >= 0")
+        if self.queue_buffer_limit < 1:
+            raise ConfigurationError("queue_buffer_limit must be >= 1")
+        if self.sender_buffer_limit < 1:
+            raise ConfigurationError("sender_buffer_limit must be >= 1")
         if self.retransmit_base <= 0:
             raise ConfigurationError("retransmit_base must be positive")
         if self.retransmit_max < self.retransmit_base:
@@ -204,7 +224,9 @@ class DeploymentSpec:
                 raise ConfigurationError(f"{stage} must be >= 1")
 
     @classmethod
-    def uniform(cls, machines_per_stage: int, clients: int = None) -> "DeploymentSpec":
+    def uniform(
+        cls, machines_per_stage: int, clients: Optional[int] = None
+    ) -> "DeploymentSpec":
         """A deployment with the same machine count at every stage."""
         n = machines_per_stage
         return cls(

@@ -130,13 +130,17 @@ class AioRuntime:
         """Open the router socket pair and start every actor."""
         if self._started:
             return
+        # Claim the flag before the first await: a second start() racing
+        # through the check above would otherwise open a second socket pair
+        # and orphan one of them.
+        self._started = True
         self.loop.bind(asyncio.get_running_loop())
-        self._server = await asyncio.start_server(self._serve, self._host, 0)
-        port = self._server.sockets[0].getsockname()[1]
+        server = await asyncio.start_server(self._serve, self._host, 0)
+        self._server = server
+        port = server.sockets[0].getsockname()[1]
         reader, self._writer = await asyncio.open_connection(self._host, port)
         # The client side of the router never receives frames; the server
         # side dispatches directly to the actors.
-        self._started = True
         for actor in list(self._actors.values()):
             actor.on_start()
 
@@ -223,15 +227,18 @@ class AioRuntime:
         return predicate()
 
     async def stop(self) -> None:
-        if self._writer is not None:
-            self._writer.close()
+        # Detach the transport attributes before awaiting: send() and
+        # _write_later() check ``self._writer`` from other coroutines, and a
+        # concurrent stop() must never double-close either endpoint.
+        self._started = False
+        writer, self._writer = self._writer, None
+        server, self._server = self._server, None
+        if writer is not None:
+            writer.close()
             try:
-                await self._writer.wait_closed()
+                await writer.wait_closed()
             except ConnectionError:  # pragma: no cover - platform dependent
                 pass
-            self._writer = None
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        self._started = False
+        if server is not None:
+            server.close()
+            await server.wait_closed()

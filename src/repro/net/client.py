@@ -38,6 +38,7 @@ from .protocol import (
     HELLO_ACK_TYPE,
     HELLO_TYPE,
     WIRES,
+    _JsonWire,
     read_frame,
     write_frame,
 )
@@ -93,7 +94,7 @@ class _Connection:
             # Any other reply (e.g. a pre-binary server's "error") means
             # the server doesn't negotiate; stay on JSON.
 
-    async def wire(self):
+    async def wire(self) -> "_JsonWire":
         """Connect (and negotiate) if needed; return the active wire format."""
         async with self._lock:
             await self._ensure_locked()
@@ -112,14 +113,15 @@ class _Connection:
         return response
 
     async def close(self) -> None:
-        if self._writer is not None:
-            self._writer.close()
+        # Detach before the await so a concurrent request() reconnects
+        # cleanly instead of racing the teardown of the old streams.
+        writer, self._writer, self._reader = self._writer, None, None
+        if writer is not None:
+            writer.close()
             try:
-                await self._writer.wait_closed()
+                await writer.wait_closed()
             except ConnectionError:  # pragma: no cover - platform dependent
                 pass
-            self._writer = None
-            self._reader = None
 
     async def reset(self) -> None:
         """Tear the connection down so the next request reconnects.

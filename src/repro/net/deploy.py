@@ -9,7 +9,7 @@ flush timer plays in the in-process runtimes).
 from __future__ import annotations
 
 import asyncio
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..core.config import FLStoreConfig
 from ..flstore.range_map import OwnershipPlan
@@ -46,11 +46,11 @@ class FLStoreNetDeployment:
 
     async def start(self) -> str:
         """Start everything; returns the controller's address."""
-        maintainer_addresses = {}
+        maintainer_addresses: Dict[str, str] = {}
         for server in self.maintainers:
             host, port = await server.start()
             maintainer_addresses[server.core.name] = f"{host}:{port}"
-        indexer_addresses = {}
+        indexer_addresses: Dict[str, str] = {}
         for server in self.indexers:
             host, port = await server.start()
             indexer_addresses[server.core.name] = f"{host}:{port}"
@@ -90,7 +90,7 @@ class FLStoreNetDeployment:
                 postings = response.get("postings", [])
                 if not postings:
                     continue
-                buckets = {}
+                buckets: Dict[str, List[List[Any]]] = {}
                 for key, value, lid in postings:
                     target = names[hash(key) % len(names)]
                     buckets.setdefault(target, []).append([key, value, lid])
@@ -106,7 +106,7 @@ class FLStoreNetDeployment:
                         continue
 
     @staticmethod
-    async def _send_oneway(conn: _Connection, message: dict) -> None:
+    async def _send_oneway(conn: _Connection, message: Dict[str, Any]) -> None:
         from .protocol import write_frame  # local import avoids a cycle
 
         async with conn._lock:

@@ -28,6 +28,7 @@ from .protocol import (
     HELLO_TYPE,
     WIRE_JSON,
     WIRES,
+    _JsonWire,
     read_frame_fmt,
     write_frame,
 )
@@ -50,21 +51,30 @@ class _BaseServer:
         self.port = port
         self.chaos: Optional["NetChaos"] = None
         self._server: Optional[asyncio.AbstractServer] = None
+        self._start_lock = asyncio.Lock()
 
     def set_chaos(self, chaos: Optional["NetChaos"]) -> None:
         """Install (or clear) request-level fault injection."""
         self.chaos = chaos
 
     async def start(self) -> Tuple[str, int]:
-        self._server = await asyncio.start_server(self._serve, self.host, self.port)
-        self.port = self._server.sockets[0].getsockname()[1]
+        # Two concurrent start() calls would both bind (port 0 picks two
+        # different sockets) and one listener would leak; the lock also
+        # keeps the read/rebind of self.port atomic across the await.
+        async with self._start_lock:
+            if self._server is None:
+                server = await asyncio.start_server(self._serve, self.host, self.port)
+                self._server = server
+                self.port = server.sockets[0].getsockname()[1]
         return self.host, self.port
 
     async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # Capture-and-null before the await: a concurrent stop() (or a
+        # start() racing a shutdown) must never double-close the listener.
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
 
     @property
     def address(self) -> str:
@@ -122,7 +132,9 @@ class _BaseServer:
             except ConnectionError:  # pragma: no cover - platform dependent
                 pass
 
-    async def handle(self, request: Dict[str, Any], wire=WIRE_JSON) -> Optional[Dict[str, Any]]:
+    async def handle(
+        self, request: Dict[str, Any], wire: _JsonWire = WIRE_JSON
+    ) -> Optional[Dict[str, Any]]:
         raise NotImplementedError
 
 
@@ -153,13 +165,13 @@ class MaintainerServer(_BaseServer):
         return result
 
     async def stop(self) -> None:
-        if self._gossip_task is not None:
-            self._gossip_task.cancel()
+        task, self._gossip_task = self._gossip_task, None
+        if task is not None:
+            task.cancel()
             try:
-                await self._gossip_task
+                await task
             except asyncio.CancelledError:
                 pass
-            self._gossip_task = None
         await super().stop()
 
     async def _gossip_loop(self) -> None:
@@ -180,7 +192,9 @@ class MaintainerServer(_BaseServer):
                 except ConnectionError:
                     continue  # peer down; gossip is best-effort
 
-    async def handle(self, request: Dict[str, Any], wire=WIRE_JSON) -> Optional[Dict[str, Any]]:
+    async def handle(
+        self, request: Dict[str, Any], wire: _JsonWire = WIRE_JSON
+    ) -> Optional[Dict[str, Any]]:
         kind = request["type"]
         if kind == "append":
             records = [wire.unpack_record(r) for r in request["records"]]
@@ -214,7 +228,9 @@ class IndexerServer(_BaseServer):
         super().__init__(host, port)
         self.core = IndexerCore(name)
 
-    async def handle(self, request: Dict[str, Any], wire=WIRE_JSON) -> Optional[Dict[str, Any]]:
+    async def handle(
+        self, request: Dict[str, Any], wire: _JsonWire = WIRE_JSON
+    ) -> Optional[Dict[str, Any]]:
         kind = request["type"]
         if kind == "index_update":
             self.core.add_many([(k, v, lid) for k, v, lid in request["postings"]])
@@ -249,7 +265,9 @@ class ControllerServer(_BaseServer):
         self.maintainer_addresses = dict(maintainer_addresses)
         self.indexer_addresses = dict(indexer_addresses or {})
 
-    async def handle(self, request: Dict[str, Any], wire=WIRE_JSON) -> Optional[Dict[str, Any]]:
+    async def handle(
+        self, request: Dict[str, Any], wire: _JsonWire = WIRE_JSON
+    ) -> Optional[Dict[str, Any]]:
         if request["type"] == "session":
             info = self.core.session_info(request.get("request_id", 0))
             return {

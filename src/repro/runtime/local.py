@@ -20,7 +20,7 @@ simply delayed across the outage.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..core.errors import ConfigurationError
 from .actor import Actor
@@ -42,7 +42,7 @@ class BaseRuntime:
         self.loop = EventLoop()
         self._actors: Dict[str, Actor] = {}
         self._started = False
-        self._crashed: set = set()
+        self._crashed: Set[str] = set()
         #: Inbound messages held for crashed actors: name -> [(src, message)].
         self._parked: Dict[str, List[Tuple[str, Any]]] = {}
         self.messages_parked = 0

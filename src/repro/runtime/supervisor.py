@@ -15,7 +15,7 @@ nothing worse than latency.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, List
 
 from .actor import Actor
 
@@ -35,13 +35,13 @@ class Supervisor(Actor):
         self.check_interval = check_interval
         self._factories: Dict[str, RecoveryFactory] = {}
         #: Restart counts per actor name (diagnostics / test assertions).
-        self.restarts: Counter = Counter()
+        self.restarts: Counter[str] = Counter()
 
     def supervise(self, actor_name: str, factory: RecoveryFactory) -> None:
         """Register ``factory`` as the way to rebuild ``actor_name``."""
         self._factories[actor_name] = factory
 
-    def supervised(self) -> list:
+    def supervised(self) -> List[str]:
         return sorted(self._factories)
 
     def on_start(self) -> None:

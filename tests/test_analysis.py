@@ -15,6 +15,7 @@ from pathlib import Path
 from repro.analysis import (
     Finding,
     apply_baseline,
+    build_model,
     dump_baseline,
     load_baseline,
     run_rules,
@@ -560,3 +561,483 @@ class TestCommittedTree:
             select=["CHR001", "CHR002", "CHR003", "CHR004", "CHR005"],
         )
         assert findings == []
+
+    def test_concurrency_and_flow_rules_need_no_baseline(self):
+        """PR 4's acceptance bar: the interprocedural rules (CHR009-CHR013)
+        pass with an empty baseline on the real tree."""
+        findings = run_rules(
+            scan([REPO_ROOT / "src"]),
+            select=["CHR009", "CHR010", "CHR011", "CHR012", "CHR013"],
+        )
+        assert findings == [], [f.render() for f in findings]
+
+
+# --------------------------------------------------------------------- #
+# CHR009 — unbounded stage buffers
+# --------------------------------------------------------------------- #
+
+_STAGE_UNBOUNDED = """\
+class Stage:
+    def __init__(self):
+        self._pending = []
+
+    def on_message(self, sender, message):
+        self._enqueue(message)
+
+    def _enqueue(self, message):
+        self._pending.append(message)
+"""
+
+
+class TestBufferRule:
+    def test_unbounded_append_on_hot_path_fires(self, tmp_path):
+        findings = lint(
+            tmp_path, {"chariots/stage.py": _STAGE_UNBOUNDED}, select=["CHR009"]
+        )
+        assert codes(findings) == ["CHR009"]
+        assert "_pending" in findings[0].message
+        assert "_enqueue" in findings[0].message  # reached through the helper
+
+    def test_len_guard_anywhere_in_class_suppresses(self, tmp_path):
+        guarded = _STAGE_UNBOUNDED.replace(
+            "        self._pending.append(message)",
+            "        if len(self._pending) >= 10:\n"
+            "            return\n"
+            "        self._pending.append(message)",
+        )
+        findings = lint(
+            tmp_path, {"chariots/stage.py": guarded}, select=["CHR009"]
+        )
+        assert findings == []
+
+    def test_bounded_by_directive_on_init_suppresses(self, tmp_path):
+        declared = _STAGE_UNBOUNDED.replace(
+            "self._pending = []",
+            "self._pending = []  # chariots: bounded-by=token-circulation",
+        )
+        findings = lint(
+            tmp_path, {"chariots/stage.py": declared}, select=["CHR009"]
+        )
+        assert findings == []
+
+    def test_deque_maxlen_is_bounded_by_construction(self, tmp_path):
+        source = _STAGE_UNBOUNDED.replace(
+            "self._pending = []", "self._pending = deque(maxlen=64)"
+        )
+        findings = lint(
+            tmp_path,
+            {"chariots/stage.py": "from collections import deque\n\n" + source},
+            select=["CHR009"],
+        )
+        assert findings == []
+
+    def test_append_outside_on_message_reach_is_clean(self, tmp_path):
+        source = _STAGE_UNBOUNDED.replace(
+            "    def on_message(self, sender, message):\n"
+            "        self._enqueue(message)\n",
+            "    def on_message(self, sender, message):\n"
+            "        pass\n",
+        )
+        findings = lint(
+            tmp_path, {"chariots/stage.py": source}, select=["CHR009"]
+        )
+        assert findings == []
+
+    def test_non_stage_packages_are_out_of_scope(self, tmp_path):
+        findings = lint(
+            tmp_path, {"apps/stage.py": _STAGE_UNBOUNDED}, select=["CHR009"]
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# CHR010 — await-point atomicity
+# --------------------------------------------------------------------- #
+
+_RACY_CONN = """\
+class Conn:
+    def __init__(self, opener):
+        self._opener = opener
+        self._sock = None
+
+    async def connect(self):
+        if self._sock is None:
+            self._sock = await self._opener()
+"""
+
+
+class TestAtomicityRule:
+    def test_seeded_read_await_write_race_fires(self, tmp_path):
+        findings = lint(tmp_path, {"net/conn.py": _RACY_CONN}, select=["CHR010"])
+        assert codes(findings) == ["CHR010"]
+        assert "_sock" in findings[0].message
+        assert "connect" in findings[0].message
+
+    def test_write_after_await_through_helper_fires(self, tmp_path):
+        source = _RACY_CONN + (
+            "\n"
+            "    async def restart(self):\n"
+            "        if self._sock is None:\n"
+            "            return\n"
+            "        await self.flush()\n"
+            "        self._teardown()\n"
+            "\n"
+            "    def _teardown(self):\n"
+            "        self._sock = None\n"
+        )
+        findings = lint(tmp_path, {"net/conn.py": source}, select=["CHR010"])
+        assert any("restart" in f.message for f in findings)
+
+    def test_capture_and_null_before_await_is_clean(self, tmp_path):
+        source = (
+            "class Conn:\n"
+            "    def __init__(self):\n"
+            "        self._sock = None\n"
+            "\n"
+            "    async def close(self):\n"
+            "        sock, self._sock = self._sock, None\n"
+            "        if sock is not None:\n"
+            "            await sock.close()\n"
+        )
+        findings = lint(tmp_path, {"net/conn.py": source}, select=["CHR010"])
+        assert findings == []
+
+    def test_lock_region_is_exempt(self, tmp_path):
+        source = (
+            "class Conn:\n"
+            "    def __init__(self, opener):\n"
+            "        self._lock = make_lock()\n"
+            "        self._opener = opener\n"
+            "        self._sock = None\n"
+            "\n"
+            "    async def connect(self):\n"
+            "        async with self._lock:\n"
+            "            if self._sock is None:\n"
+            "                self._sock = await self._opener()\n"
+        )
+        findings = lint(tmp_path, {"net/conn.py": source}, select=["CHR010"])
+        assert findings == []
+
+    def test_locked_suffix_documents_caller_holds_lock(self, tmp_path):
+        source = _RACY_CONN.replace("async def connect(", "async def connect_locked(")
+        findings = lint(tmp_path, {"net/conn.py": source}, select=["CHR010"])
+        assert findings == []
+
+    def test_outside_net_is_out_of_scope(self, tmp_path):
+        findings = lint(
+            tmp_path, {"chariots/conn.py": _RACY_CONN}, select=["CHR010"]
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# CHR011 — dict-request dispatch exhaustiveness
+# --------------------------------------------------------------------- #
+
+_NET_SERVER = """\
+PING_TYPE = "ping"
+
+class Server:
+    async def handle(self, request):
+        kind = request["type"]
+        if kind == PING_TYPE:
+            return {"ok": True}
+        if kind == "status":
+            return {"up": True}
+        return None
+"""
+
+_NET_CLIENT = """\
+class Client:
+    async def ping(self, conn):
+        return await conn.request({"type": "ping"})
+
+    async def status(self, conn):
+        message = {"type": "status"}
+        return await conn.request(message)
+"""
+
+
+class TestDispatchRule:
+    def test_balanced_request_surface_is_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {"net/server.py": _NET_SERVER, "net/client.py": _NET_CLIENT},
+            select=["CHR011"],
+        )
+        assert findings == []
+
+    def test_sent_but_unhandled_type_fires_at_send_site(self, tmp_path):
+        client = _NET_CLIENT + (
+            "\n"
+            "    async def probe(self, conn):\n"
+            '        return await conn.request({"type": "probe"})\n'
+        )
+        findings = lint(
+            tmp_path,
+            {"net/server.py": _NET_SERVER, "net/client.py": client},
+            select=["CHR011"],
+        )
+        assert codes(findings) == ["CHR011"]
+        assert '"probe"' in findings[0].message
+        assert findings[0].path.endswith("client.py")
+
+    def test_handled_but_never_sent_type_fires_at_branch(self, tmp_path):
+        server = _NET_SERVER.replace(
+            "        return None\n",
+            '        if kind == "drain":\n'
+            "            return {}\n"
+            "        return None\n",
+        )
+        findings = lint(
+            tmp_path,
+            {"net/server.py": server, "net/client.py": _NET_CLIENT},
+            select=["CHR011"],
+        )
+        assert codes(findings) == ["CHR011"]
+        assert '"drain"' in findings[0].message
+        assert findings[0].path.endswith("server.py")
+
+    def test_scan_without_servers_is_silent(self, tmp_path):
+        findings = lint(
+            tmp_path, {"net/client.py": _NET_CLIENT}, select=["CHR011"]
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# CHR012 — dead/orphan message kinds
+# --------------------------------------------------------------------- #
+
+_PROTO_DRIVER = """\
+from .messages import Carrier, Inner, Ping, Pong
+
+def make_all():
+    return [Ping(1), Pong(2), Carrier(Inner(3))]
+"""
+
+
+class TestDeadMessageRule:
+    def test_fully_wired_registry_is_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "proto/messages.py": _PROTO_MESSAGES,
+                "proto/codec.py": _PROTO_CODEC,
+                "proto/driver.py": _PROTO_DRIVER,
+            },
+            select=["CHR012"],
+        )
+        assert findings == []
+
+    def test_constructed_but_unroutable_message_fires(self, tmp_path):
+        messages = _PROTO_MESSAGES + (
+            "\n@dataclass(slots=True)\nclass Ghost:\n    seq: int\n"
+        )
+        driver = _PROTO_DRIVER.replace(
+            "    return [", "    Ghost(9)\n    return ["
+        ).replace(
+            "from .messages import Carrier, Inner, Ping, Pong",
+            "from .messages import Carrier, Ghost, Inner, Ping, Pong",
+        )
+        findings = lint(
+            tmp_path,
+            {
+                "proto/messages.py": messages,
+                "proto/codec.py": _PROTO_CODEC,
+                "proto/driver.py": driver,
+            },
+            select=["CHR012"],
+        )
+        assert codes(findings) == ["CHR012"]
+        assert "Ghost" in findings[0].message
+        assert findings[0].path.endswith("messages.py")
+
+    def test_registered_but_never_constructed_fires_at_registration(self, tmp_path):
+        driver = _PROTO_DRIVER.replace("Pong(2), ", "")
+        findings = lint(
+            tmp_path,
+            {
+                "proto/messages.py": _PROTO_MESSAGES,
+                "proto/codec.py": _PROTO_CODEC,
+                "proto/driver.py": driver,
+            },
+            select=["CHR012"],
+        )
+        assert codes(findings) == ["CHR012"]
+        assert "Pong" in findings[0].message
+        assert findings[0].path.endswith("codec.py")
+
+    def test_noqa_at_registration_site_suppresses(self, tmp_path):
+        driver = _PROTO_DRIVER.replace("Pong(2), ", "")
+        codec = _PROTO_CODEC.replace(
+            "    Pong,\n", "    Pong,  # chariots: noqa=CHR012\n"
+        )
+        findings = lint(
+            tmp_path,
+            {
+                "proto/messages.py": _PROTO_MESSAGES,
+                "proto/codec.py": codec,
+                "proto/driver.py": driver,
+            },
+            select=["CHR012"],
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# CHR013 — exception swallowing
+# --------------------------------------------------------------------- #
+
+
+class TestSwallowRule:
+    def test_bare_except_pass_fires(self, tmp_path):
+        source = (
+            "def run(task):\n"
+            "    try:\n"
+            "        task()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        findings = lint(tmp_path, {"chariots/worker.py": source}, select=["CHR013"])
+        assert codes(findings) == ["CHR013"]
+
+    def test_logging_call_counts_as_handling(self, tmp_path):
+        source = (
+            "def run(task, journal):\n"
+            "    try:\n"
+            "        task()\n"
+            "    except Exception:\n"
+            "        journal.log_failure(task)\n"
+        )
+        findings = lint(tmp_path, {"chariots/worker.py": source}, select=["CHR013"])
+        assert findings == []
+
+    def test_using_bound_exception_counts_as_handling(self, tmp_path):
+        source = (
+            "def run(task, replies):\n"
+            "    try:\n"
+            "        task()\n"
+            "    except Exception as exc:\n"
+            "        replies.append(exc)\n"
+        )
+        findings = lint(tmp_path, {"chariots/worker.py": source}, select=["CHR013"])
+        assert findings == []
+
+    def test_reraise_counts_as_handling(self, tmp_path):
+        source = (
+            "def run(task):\n"
+            "    try:\n"
+            "        task()\n"
+            "    except Exception:\n"
+            "        raise\n"
+        )
+        findings = lint(tmp_path, {"runtime/worker.py": source}, select=["CHR013"])
+        assert findings == []
+
+    def test_narrow_except_is_out_of_scope(self, tmp_path):
+        source = (
+            "def run(mapping, key):\n"
+            "    try:\n"
+            "        return mapping[key]\n"
+            "    except KeyError:\n"
+            "        return None\n"
+        )
+        findings = lint(tmp_path, {"flstore/worker.py": source}, select=["CHR013"])
+        assert findings == []
+
+    def test_outside_pipeline_packages_is_clean(self, tmp_path):
+        source = (
+            "def run(task):\n"
+            "    try:\n"
+            "        task()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        findings = lint(tmp_path, {"apps/worker.py": source}, select=["CHR013"])
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# The project model and message-flow graph
+# --------------------------------------------------------------------- #
+
+
+class TestFlowGraph:
+    def test_model_is_cached_per_scan(self):
+        project = scan([REPO_ROOT / "src"])
+        assert build_model(project) is build_model(project)
+
+    def test_every_server_request_branch_is_exercised(self):
+        """The acceptance bar: every request['type'] branch in net/server.py
+        corresponds to a type some client sends, and vice versa."""
+        model = build_model(scan([REPO_ROOT / "src"]))
+        assert model.has_request_handlers
+        assert set(model.request_sent) == set(model.request_handled)
+        for kind in (
+            "hello",
+            "session",
+            "append",
+            "read_lid",
+            "read_rules",
+            "head",
+            "gossip",
+            "drain_postings",
+            "index_update",
+            "lookup",
+        ):
+            assert kind in model.request_handled, kind
+
+    def test_graph_dict_shape(self, tmp_path):
+        root = tmp_path / "proj"
+        for rel, source in {
+            "proto/messages.py": _PROTO_MESSAGES,
+            "proto/codec.py": _PROTO_CODEC,
+            "proto/driver.py": _PROTO_DRIVER,
+            "net/server.py": _NET_SERVER,
+            "net/client.py": _NET_CLIENT,
+        }.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source)
+        graph = build_model(scan([root])).graph_dict()
+        assert graph["version"] == 1
+        assert graph["messages"]["Ping"]["registered"] is True
+        assert graph["messages"]["Ping"]["constructed_in"] == [
+            {"module": "proto/driver.py", "line": 4}
+        ]
+        assert graph["messages"]["Inner"]["embedded_in"] == ["Carrier"]
+        assert set(graph["requests"]) == {"ping", "status"}
+        assert graph["requests"]["ping"]["sent_from"][0]["module"] == "net/client.py"
+        assert graph["requests"]["ping"]["handled_in"][0]["module"] == "net/server.py"
+
+    def test_graph_dot_renders(self):
+        dot = build_model(scan([REPO_ROOT / "src"])).graph_dot()
+        assert dot.startswith("digraph message_flow {")
+        assert dot.rstrip().endswith("}")
+        assert '"msg:AdmittedBatch"' in dot
+        assert '"req:append"' in dot
+
+
+class TestGraphCli:
+    def _fixture(self, tmp_path):
+        root = tmp_path / "proj"
+        for rel, source in {
+            "net/server.py": _NET_SERVER,
+            "net/client.py": _NET_CLIENT,
+        }.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source)
+        return root
+
+    def test_graph_json_round_trips(self, tmp_path, capsys):
+        root = self._fixture(tmp_path)
+        assert analysis_main([str(root), "--graph", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["requests"]) == {"ping", "status"}
+
+    def test_graph_dot_renders(self, tmp_path, capsys):
+        root = self._fixture(tmp_path)
+        assert analysis_main([str(root), "--graph", "dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph message_flow {")

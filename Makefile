@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test chaos bench-smoke bench-reports lint analysis ruff mypy baseline graph
+.PHONY: check test chaos scenarios bench-smoke bench-reports lint analysis ruff mypy baseline graph
 
 ## Tier-1 gate: the full test suite plus a seconds-scale bench smoke.
 check: test bench-smoke
@@ -46,6 +46,12 @@ test:
 ## tier-1 skips (the command-line -m overrides the addopts marker filter).
 chaos:
 	$(PYTHON) -m pytest tests/test_chaos.py tests/test_resilience.py -q -m "slow or not slow"
+
+## Run the full deterministic scenario catalog (paper figures, soaks,
+## chaos, overload), persist artifacts under runs/, and diff the perf
+## entries against the committed BENCH_*.json baselines (docs/SCENARIOS.md).
+scenarios:
+	$(PYTHON) -m repro.scenarios run --deterministic --compare
 
 ## Quick sanity pass over the perf harness: tiny batches, one repeat —
 ## catches import/shape breakage in ~5 s without measuring anything real.

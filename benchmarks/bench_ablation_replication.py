@@ -6,89 +6,26 @@ cross-datacenter link — and measures how long after the load stops the
 remote datacenter needs to incorporate everything.  The shipping interval
 trades replication batching against visibility lag; the WAN round trip is
 the floor.
-"""
 
-import itertools
+The deployment, load, and lag measurement live in the geo executor of
+``repro.scenarios``; the catalog entry sweeps the shipping interval.
+"""
 
 import pytest
 
-from repro.bench.harness import GENERATOR
-from repro.chariots.messages import DraftBatch, DraftRecord
-from repro.chariots.pipeline import ChariotsDeployment
-from repro.core import PRIVATE_CLOUD, NetworkProfile, PipelineConfig
-from repro.sim import LoadClient, SimRuntime
-
-from conftest import print_header, run_once
-
-INTERVALS = [0.005, 0.04, 0.16]
-WAN_RTT = 0.060
-LOAD_RECORDS = 10_000
-LOAD_RATE = 20_000.0
-
-
-def geo_lag(replication_interval: float) -> float:
-    runtime = SimRuntime(network=NetworkProfile(wan_rtt=WAN_RTT))
-
-    def placer(actor) -> None:
-        datacenter = actor.name.split("/")[0]
-        runtime.place_on_new_machine(actor, profile=PRIVATE_CLOUD, datacenter=datacenter)
-
-    deployment = ChariotsDeployment(
-        runtime,
-        ["A", "B"],
-        pipeline_config=PipelineConfig(replication_interval=replication_interval),
-        placer=placer,
-        n_indexers=0,
-    )
-
-    seq = itertools.count(1)
-
-    def factory(client_name: str, batch_index: int, n: int) -> DraftBatch:
-        return DraftBatch(
-            [DraftRecord(client=client_name, seq=next(seq), body=b"\x00" * 512)
-             for _ in range(n)]
-        )
-
-    client = LoadClient(
-        "A/loadgen",
-        targets=[deployment["A"].batchers[0].name],
-        batch_factory=factory,
-        target_rate=LOAD_RATE,
-        batch_size=200,
-        total_records=LOAD_RECORDS,
-    )
-    runtime.place_on_new_machine(client, profile=GENERATOR, datacenter="A")
-
-    load_end = LOAD_RECORDS / LOAD_RATE
-    deadline = load_end + 5.0
-    runtime.start()
-    while runtime.now < deadline:
-        runtime.run_for(0.01)
-        if deployment["B"].frontier().get("A", 0) >= LOAD_RECORDS:
-            return max(0.0, runtime.now - load_end)
-    raise AssertionError(
-        f"datacenter B never caught up (got {deployment['B'].frontier()})"
-    )
-
-
-def sweep():
-    return [(interval, geo_lag(interval)) for interval in INTERVALS]
+from conftest import print_header, run_catalog_entry
 
 
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_replication_interval_vs_lag(benchmark):
-    rows = run_once(benchmark, sweep)
+    result = run_catalog_entry(benchmark, "geo-replication-lag")
+    points = result.aggregates["points"]
 
     print_header("Ablation: shipping interval vs geo-replication lag (WAN RTT 60 ms)")
-    print(f"{'interval':>10}  {'lag after load stops':>20}")
-    for interval, lag in rows:
-        print(f"{interval * 1000:>8.0f}ms  {lag * 1000:>18.1f}ms")
+    print(f"{'point':>12}  {'lag after load stops':>20}")
+    for point in points:
+        print(f"{point['label']:>12}  {point['lag_seconds'] * 1000:>18.1f}ms")
 
-    lags = [lag for _, lag in rows]
-    # Lag grows with the shipping interval and never beats the WAN one-way
-    # latency floor.
-    assert lags[-1] > lags[0]
-    assert all(lag >= WAN_RTT / 2 * 0.5 for lag in lags)
     benchmark.extra_info["rows"] = [
-        (interval, round(lag, 4)) for interval, lag in rows
+        (point["label"], point["lag_seconds"]) for point in points
     ]

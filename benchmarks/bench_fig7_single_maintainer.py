@@ -4,49 +4,26 @@ Paper: "as the target throughput increases, the achieved throughput
 increases up to a point and then plateaus.  The maximum throughput is
 achieved when the target throughput is 150K and then drops to be around
 120K appends per second."  (Public cloud, c3.large, 512 B records.)
+
+The sweep, topology, and the paper-claim assertions live on the catalog
+entry (``repro.scenarios``); this script renders the figure.
 """
 
 import pytest
 
-from repro.bench import run_flstore_sim
-from repro.core import PUBLIC_CLOUD
-
-from conftest import kilo, print_header, run_once
-
-TARGETS = [25_000, 50_000, 75_000, 100_000, 125_000, 150_000, 175_000,
-           200_000, 250_000, 300_000]
-
-
-def sweep():
-    points = []
-    for target in TARGETS:
-        result = run_flstore_sim(
-            n_maintainers=1,
-            target_per_maintainer=target,
-            maintainer_profile=PUBLIC_CLOUD,
-            duration=1.2,
-            warmup=0.4,
-        )
-        points.append((target, result.achieved_total))
-    return points
+from conftest import kilo, print_header, run_catalog_entry
 
 
 @pytest.mark.benchmark(group="fig7")
 def test_fig7_single_maintainer_throughput_curve(benchmark):
-    points = run_once(benchmark, sweep)
+    result = run_catalog_entry(benchmark, "fig7-single-maintainer")
+    points = result.aggregates["points"]
 
-    print_header("Figure 7: one public-cloud maintainer, achieved vs target")
+    print_header(result.spec.title)
     print(f"{'target':>10}  {'achieved':>10}")
-    for target, achieved in points:
-        print(f"{kilo(target):>10}  {kilo(achieved):>10}")
+    for point in points:
+        print(f"{kilo(point['target']):>10}  {kilo(point['achieved']):>10}")
 
-    by_target = dict(points)
-    # Below the knee, achieved tracks target.
-    for target in TARGETS[:5]:
-        assert by_target[target] == pytest.approx(target, rel=0.05)
-    # Peak at ~150K, then a drop to ~120K — the paper's exact shape.
-    peak_target = max(by_target, key=by_target.get)
-    assert peak_target == 150_000
-    assert by_target[300_000] < by_target[150_000]
-    assert by_target[300_000] == pytest.approx(120_000, rel=0.08)
-    benchmark.extra_info["points"] = [(t, round(a)) for t, a in points]
+    benchmark.extra_info["points"] = [
+        (point["target"], point["achieved"]) for point in points
+    ]

@@ -3,53 +3,35 @@
 Paper series: private cloud (131K/maintainer single, 1.302M at ten —
 99.3% of perfect scaling), public cloud at target 125K, and public cloud
 at target 250K (99.9% scaling at the overloaded operating point).
+
+One catalog entry per series; the near-linear-scaling assertions are the
+entries' invariants.
 """
 
 import pytest
 
-from repro.bench import run_flstore_sim
-from repro.core import PRIVATE_CLOUD, PUBLIC_CLOUD
-
-from conftest import kilo, print_header, run_once
-
-MAINTAINER_COUNTS = [1, 2, 4, 6, 8, 10]
+from conftest import kilo, print_header, run_catalog_entry
 
 SERIES = [
-    ("private cloud (131K target)", PRIVATE_CLOUD, 131_000),
-    ("public cloud (125K target)", PUBLIC_CLOUD, 125_000),
-    ("public cloud (250K target)", PUBLIC_CLOUD, 250_000),
+    "fig8-scaling-private-131k",
+    "fig8-scaling-public-125k",
+    "fig8-scaling-public-250k",
 ]
 
 
-def sweep(profile, target):
-    points = []
-    for n in MAINTAINER_COUNTS:
-        result = run_flstore_sim(
-            n_maintainers=n,
-            target_per_maintainer=target,
-            maintainer_profile=profile,
-            duration=1.0,
-            warmup=0.3,
-        )
-        points.append((n, result.achieved_total, result.perfect_scaling_fraction))
-    return points
-
-
 @pytest.mark.benchmark(group="fig8")
-@pytest.mark.parametrize("label,profile,target", SERIES, ids=[s[0] for s in SERIES])
-def test_fig8_flstore_scaling(benchmark, label, profile, target):
-    points = run_once(benchmark, sweep, profile, target)
+@pytest.mark.parametrize("scenario", SERIES)
+def test_fig8_flstore_scaling(benchmark, scenario):
+    result = run_catalog_entry(benchmark, scenario)
+    points = result.aggregates["points"]
 
-    print_header(f"Figure 8: FLStore scaling — {label}")
+    print_header(result.spec.title)
     print(f"{'maintainers':>12}  {'achieved':>10}  {'vs perfect':>10}")
-    for n, achieved, fraction in points:
-        print(f"{n:>12}  {kilo(achieved):>10}  {fraction:>9.1%}")
+    for point in points:
+        print(f"{point['maintainers']:>12}  {kilo(point['achieved']):>10}  "
+              f"{point['scaling_fraction']:>9.1%}")
 
-    # Near-linear scaling (§7.1: 99.3% / 99.9% at ten maintainers).
-    final_n, final_achieved, final_fraction = points[-1]
-    assert final_fraction > 0.97
-    single = points[0][1]
-    assert final_achieved == pytest.approx(final_n * single, rel=0.05)
     benchmark.extra_info["points"] = [
-        (n, round(a), round(f, 4)) for n, a, f in points
+        (point["maintainers"], point["achieved"], point["scaling_fraction"])
+        for point in points
     ]

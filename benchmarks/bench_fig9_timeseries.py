@@ -3,7 +3,8 @@
 A fixed number of records flows through the two-client, two-batcher
 deployment on machines whose NIC is shared between receive and transmit
 (the paper: "The network interface's I/O of the Filter was limiting its
-throughput").  Paper observations reproduced and asserted here:
+throughput").  Paper observations asserted by the catalog entry's
+invariants:
 
 * the clients/batchers finish the workload well before the latter stages
   (the constrained filter takes roughly twice as long);
@@ -14,70 +15,24 @@ throughput").  Paper observations reproduced and asserted here:
 
 import pytest
 
-from repro.bench import run_pipeline_sim
-from repro.core import MachineProfile
-
-from conftest import print_header, run_once
-
-SOURCES = ("A/client/0", "A/batcher/0", "A/queue/0")
-
-#: Private-cloud CPU with a 1 GbE *shared* NIC: receive and transmit
-#: contend, which is the filter bottleneck Figure 9's discussion describes.
-FIG9_PROFILE = MachineProfile(
-    name="fig9-shared-nic",
-    per_record_cost=1.0 / 132_000,
-    nic_bandwidth_bytes=125e6,
-    saturation_queue=24,
-    overload_penalty=0.012,
-    overload_cap=1.09,
-)
+from conftest import print_header, run_catalog_entry
 
 
 @pytest.mark.benchmark(group="fig9")
 def test_fig9_stage_throughput_timeseries(benchmark):
-    result = run_once(
-        benchmark,
-        run_pipeline_sim,
-        clients=2,
-        batchers=2,
-        total_records=240_000,
-        duration=1.5,
-        warmup=0.2,
-        run_past_load=2.0,
-        profile=FIG9_PROFILE,
-        shared_nic=True,
-        timeseries_for=SOURCES,
-        timeseries_bin=0.2,
-    )
+    result = run_catalog_entry(benchmark, "fig9-stage-timeseries")
+    sources = result.spec.workload.timeseries_sources
+    timeseries = result.timeseries["base"]
 
     print_header("Figure 9: per-stage throughput over time (K records/s)")
-    times = sorted({t for source in SOURCES for t, _ in result.timeseries[source]})
-    print(f"{'t(s)':>6}  " + "  ".join(f"{s.split('/')[1]:>10}" for s in SOURCES))
-    series = {s: dict(result.timeseries[s]) for s in SOURCES}
+    times = sorted({t for source in sources for t, _ in timeseries[source]})
+    print(f"{'t(s)':>6}  " + "  ".join(f"{s.split('/')[1]:>10}" for s in sources))
+    series = {s: dict(timeseries[s]) for s in sources}
     for t in times:
-        row = "  ".join(f"{series[s].get(t, 0.0) / 1000:>9.1f}K" for s in SOURCES)
+        row = "  ".join(f"{series[s].get(t, 0.0) / 1000:>9.1f}K" for s in sources)
         print(f"{t:>6.1f}  {row}")
+    print(f"  drain: {result.aggregates['points'][0]['drain']}")
 
-    assert result.records_stored == 240_000
-
-    def active_end(source):
-        points = [t for t, r in result.timeseries[source] if r > 1000]
-        return points[-1] if points else 0.0
-
-    client_end = active_end("A/client/0")
-    queue_end = active_end("A/queue/0")
-    # The latter stages last well beyond the clients (Figure 9's 42:30 vs
-    # 43:10 gap — roughly twice the load window).
-    assert queue_end > client_end + 0.4
-
-    # The queue's throughput surges once upstream traffic stops: the
-    # filter's shared NIC is freed from receiving and transmits at full
-    # rate ("an abrupt increase ... right before the end").
-    queue = dict(result.timeseries["A/queue/0"])
-    loaded = [r for t, r in queue.items() if 0.2 <= t <= client_end]
-    draining = [r for t, r in queue.items() if client_end + 0.2 <= t < queue_end]
-    assert loaded and draining
-    assert max(draining) > 1.25 * (sum(loaded) / len(loaded))
     benchmark.extra_info["series"] = {
-        s: [(round(t, 2), round(r)) for t, r in result.timeseries[s]] for s in SOURCES
+        source: list(timeseries[source]) for source in sources
     }

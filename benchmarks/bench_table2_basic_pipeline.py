@@ -3,36 +3,22 @@
 Paper: every machine achieves a similar 124–132 K records/s; the close
 numbers "indicate that the bottleneck is possibly due to the clients",
 with the store slightly ahead of the client because of buffering.
+
+The deployment and the paper-claim assertions live on the catalog entry's
+invariants; this script renders the table.
 """
 
 import pytest
 
-from repro.bench import run_pipeline_sim
-
-from conftest import kilo, print_header, run_once
+from conftest import print_header, print_pipeline_point, run_catalog_entry
 
 
 @pytest.mark.benchmark(group="tables")
 def test_table2_one_machine_per_stage(benchmark):
-    result = run_once(
-        benchmark,
-        run_pipeline_sim,
-        clients=1,
-        duration=1.5,
-        warmup=0.4,
-    )
+    result = run_catalog_entry(benchmark, "table2-basic-pipeline")
+    point = result.aggregates["points"][0]
 
     print_header("Table 2: Chariots, one machine per stage (K records/s)")
-    for stage, machine, rate in result.rows():
-        print(f"  {stage:<8} {machine:<18} {kilo(rate)}")
-    print(f"  bottleneck: {result.bottleneck()}")
+    print_pipeline_point(point)
 
-    client_rate = result.stage_total("Client")
-    # All stages track the client rate within a few percent (Table 2).
-    for stage in ("Batcher", "Filter", "Queue", "Store"):
-        assert result.stage_total(stage) == pytest.approx(client_rate, rel=0.06)
-    assert 120_000 < client_rate < 135_000
-    assert result.bottleneck() == "Client"
-    benchmark.extra_info["rows"] = [
-        (stage, machine, round(rate)) for stage, machine, rate in result.rows()
-    ]
+    benchmark.extra_info["stage_totals"] = point["stage_totals"]

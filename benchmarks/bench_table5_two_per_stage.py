@@ -3,46 +3,22 @@
 Paper: "Note how all stages are scaling.  The throughput of each stage has
 doubled.  Each machine achieves a close throughput to the basic case of a
 pipeline with one machine per stage."
+
+The catalog entry sweeps the basic deployment and the doubled one; the
+per-stage doubling and per-machine-parity assertions are its invariants.
 """
 
 import pytest
 
-from repro.bench import run_pipeline_sim
-
-from conftest import kilo, print_header, run_once
+from conftest import print_header, print_pipeline_point, run_catalog_entry
 
 
 @pytest.mark.benchmark(group="tables")
 def test_table5_two_machines_per_stage(benchmark):
-    result = run_once(
-        benchmark,
-        run_pipeline_sim,
-        clients=2,
-        batchers=2,
-        filters=2,
-        queues=2,
-        maintainers=2,
-        senders=2,
-        receivers=2,
-        duration=1.5,
-        warmup=0.4,
-    )
+    result = run_catalog_entry(benchmark, "table5-two-per-stage")
+    point = result.aggregates["points"][1]
 
     print_header("Table 5: two machines per stage (K records/s)")
-    for stage, machine, rate in result.rows():
-        print(f"  {stage:<8} {machine:<18} {kilo(rate)}")
-    print(f"  bottleneck: {result.bottleneck()}")
+    print_pipeline_point(point)
 
-    basic = run_pipeline_sim(clients=1, duration=1.0, warmup=0.3)
-    # Every stage's total doubled relative to the basic deployment.
-    for stage in ("Client", "Batcher", "Filter", "Queue", "Store"):
-        assert result.stage_total(stage) == pytest.approx(
-            2 * basic.stage_total(stage), rel=0.08
-        ), stage
-    # Each machine stays close to the basic single-machine throughput.
-    for stage in ("Batcher", "Filter", "Store"):
-        for rate in result.stage_rates[stage].values():
-            assert rate == pytest.approx(basic.stage_total(stage), rel=0.1)
-    benchmark.extra_info["rows"] = [
-        (stage, machine, round(rate)) for stage, machine, rate in result.rows()
-    ]
+    benchmark.extra_info["stage_totals"] = point["stage_totals"]

@@ -48,8 +48,40 @@ def run_once(benchmark, fn: Callable, *args, **kwargs):
     return result
 
 
+def run_catalog_entry(benchmark, name: str):
+    """Run one scenario-catalog entry in-memory under pytest-benchmark.
+
+    The figure/table scripts are thin wrappers over the catalog
+    (``repro.scenarios``): topology, workload, sweep, and the paper-claim
+    assertions all live on the :class:`~repro.scenarios.ScenarioSpec` as
+    declarative invariants.  A broken invariant raises
+    :class:`~repro.scenarios.ScenarioError`, failing the benchmark test.
+    """
+    from repro.scenarios import get, run_scenario
+
+    spec = get(name)
+    result = benchmark.pedantic(
+        run_scenario,
+        args=(spec,),
+        kwargs={"run_root": None, "raise_on_failure": True},
+        rounds=1,
+        iterations=1,
+    )
+    _RESULTS[benchmark.name] = result.aggregates
+    benchmark.extra_info["scenario"] = name
+    return result
+
+
 def kilo(rate: float) -> str:
     return f"{rate / 1000:8.1f}K"
+
+
+def print_pipeline_point(point: Dict) -> None:
+    """Render one pipeline point's per-machine rates as a paper-style table."""
+    for stage, rates in point["stage_rates"].items():
+        for machine, rate in rates.items():
+            print(f"  {stage:<8} {machine:<18} {kilo(rate)}")
+    print(f"  bottleneck: {point['bottleneck']}")
 
 
 def print_header(title: str) -> None:

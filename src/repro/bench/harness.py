@@ -20,7 +20,10 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..chaos.plan import FaultPlan
 
 from ..baseline.corfu import CorfuLog
 from ..baseline.sequencer import ReservedRange, SequencerRequest
@@ -105,14 +108,19 @@ def run_flstore_sim(
     lid_batch: int = 1000,
     gossip_interval: float = 0.005,
     shared_nic: bool = False,
+    config: Optional[FLStoreConfig] = None,
+    chaos: Optional["FaultPlan"] = None,
 ) -> FLStoreSimResult:
     """Offer ``target_per_maintainer`` appends/s to each maintainer (§7.1).
 
     One generator client machine per maintainer, as in the paper ("an
     identical number of client machines were used to generate records").
+    ``chaos`` installs a seeded :class:`~repro.chaos.plan.FaultPlan` on the
+    simulated network (the scenario harness's fault injection path).
     """
-    runtime = SimRuntime(record_size=record_size)
-    config = FLStoreConfig(batch_size=lid_batch, gossip_interval=gossip_interval)
+    runtime = SimRuntime(record_size=record_size, chaos=chaos)
+    if config is None:
+        config = FLStoreConfig(batch_size=lid_batch, gossip_interval=gossip_interval)
 
     def place_data(actor: Actor) -> None:
         runtime.place_on_new_machine(
@@ -238,14 +246,19 @@ def run_pipeline_sim(
     timeseries_bin: float = 0.1,
     run_past_load: float = 0.0,
     shared_nic: bool = False,
+    pipeline_config: Optional[PipelineConfig] = None,
+    flstore_config: Optional[FLStoreConfig] = None,
+    chaos: Optional["FaultPlan"] = None,
 ) -> PipelineSimResult:
     """One datacenter's full pipeline under client load (§7.2).
 
     ``total_records`` bounds generation (Figure 9's fixed-size experiment);
     ``run_past_load`` keeps simulating after the load window so draining
-    backlogs remain observable in the timeseries.
+    backlogs remain observable in the timeseries.  ``pipeline_config`` /
+    ``flstore_config`` / ``chaos`` let the scenario harness exercise
+    backpressure limits and fault plans without bespoke setup code.
     """
-    runtime = SimRuntime(record_size=record_size)
+    runtime = SimRuntime(record_size=record_size, chaos=chaos)
     dc = "A"
 
     def place_data(actor: Actor) -> None:
@@ -265,10 +278,12 @@ def run_pipeline_sim(
             receivers=receivers,
         ),
         batch_size=lid_batch,
-        pipeline_config=PipelineConfig(
+        pipeline_config=pipeline_config
+        or PipelineConfig(
             batcher_flush_threshold=client_batch,
             batcher_flush_interval=0.002,
         ),
+        flstore_config=flstore_config,
         n_indexers=0,
         placer=place_data,
     )
@@ -402,6 +417,7 @@ def run_corfu_sim(
     warmup: float = 0.4,
     record_size: int = 512,
     lid_batch: int = 1000,
+    chaos: Optional["FaultPlan"] = None,
 ) -> CorfuSimResult:
     """The sequencer-based comparator under the Figure 8 workload shape.
 
@@ -409,7 +425,7 @@ def run_corfu_sim(
     published bottleneck); appends/s are capped near
     ``sequencer_capacity × grant_batch`` no matter how many units exist.
     """
-    runtime = SimRuntime(record_size=record_size)
+    runtime = SimRuntime(record_size=record_size, chaos=chaos)
 
     def place_data(actor: Actor) -> None:
         runtime.place_on_new_machine(actor, profile=unit_profile)

@@ -1,0 +1,82 @@
+"""Declarative scenario catalog and experiment harness.
+
+``repro.scenarios`` turns the repo's experiments into data: a
+:class:`ScenarioSpec` describes topology, workload, faults, and the checks
+a run must satisfy; the :class:`ScenarioRunner` executes specs through a
+standup → experiment → teardown lifecycle and persists artifacts under
+``runs/<scenario>/<run-id>/``; :mod:`~repro.scenarios.catalog` holds the
+tagged entries covering the paper's Figures 7–9 and Tables 2–5 plus the
+repo's own soak/overload/chaos scenarios.
+
+Command line: ``python -m repro.scenarios {list,show,run,compare}``.
+"""
+
+from .catalog import CATALOG, by_tag, get, names, select, tags_in_use
+from .compare import (
+    CheckOutcome,
+    ComparisonResult,
+    compare_documents,
+    compare_run_dir,
+)
+from .executors import EXECUTORS, ExecutionContext, Executor, executor_for
+from .runner import (
+    PhaseStatus,
+    RunResult,
+    ScenarioError,
+    ScenarioRunner,
+    latest_run_dir,
+    next_run_id,
+    run_scenario,
+)
+from .spec import (
+    KINDS,
+    KNOWN_TAGS,
+    PROFILES,
+    RUNTIMES,
+    BaselineCheck,
+    Invariant,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    check_invariants,
+    filter_specs,
+    resolve_path,
+    resolve_profile,
+)
+
+__all__ = [
+    "CATALOG",
+    "EXECUTORS",
+    "KINDS",
+    "KNOWN_TAGS",
+    "PROFILES",
+    "RUNTIMES",
+    "BaselineCheck",
+    "CheckOutcome",
+    "ComparisonResult",
+    "ExecutionContext",
+    "Executor",
+    "Invariant",
+    "PhaseStatus",
+    "RunResult",
+    "ScenarioError",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "TopologySpec",
+    "WorkloadSpec",
+    "by_tag",
+    "check_invariants",
+    "compare_documents",
+    "compare_run_dir",
+    "executor_for",
+    "filter_specs",
+    "get",
+    "latest_run_dir",
+    "names",
+    "next_run_id",
+    "resolve_path",
+    "resolve_profile",
+    "run_scenario",
+    "select",
+    "tags_in_use",
+]

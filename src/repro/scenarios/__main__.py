@@ -1,0 +1,166 @@
+"""Command-line front end for the scenario catalog.
+
+::
+
+    python -m repro.scenarios list [--tag TAG]... [--deterministic]
+    python -m repro.scenarios show NAME
+    python -m repro.scenarios run [NAME]... [--tag TAG]... [--deterministic]
+                                  [--run-root DIR | --no-persist]
+                                  [--compare] [--baseline-root DIR]
+    python -m repro.scenarios compare NAME [--run-id ID]
+                                  [--run-root DIR] [--baseline-root DIR]
+
+``run`` executes the selected entries through the phased runner,
+persisting artifacts under ``<run-root>/<scenario>/<run-id>/`` and exits
+non-zero if any scenario errors, breaks an invariant, or (with
+``--compare``) drifts outside a baseline tolerance band.  ``compare``
+re-checks an already-persisted run against the committed ``BENCH_*.json``
+baselines without re-running anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from . import catalog
+from .compare import compare_run_dir
+from .runner import ScenarioRunner, latest_run_dir
+from .spec import ScenarioSpec
+
+
+def _select(args: argparse.Namespace) -> List[ScenarioSpec]:
+    deterministic = True if getattr(args, "deterministic", False) else None
+    specs = catalog.select(
+        tags=args.tag,
+        names_filter=getattr(args, "names", []),
+        deterministic=deterministic,
+    )
+    known = set(catalog.names())
+    for name in getattr(args, "names", []):
+        if name not in known:
+            raise SystemExit(f"unknown scenario {name!r} (try `list`)")
+    return specs
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = _select(args)
+    if not specs:
+        print("no scenarios match")
+        return 1
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        tags = ",".join(spec.tags) or "-"
+        print(f"{spec.name:<{width}}  {spec.kind:<10} {spec.runtime:<5} "
+              f"{tags:<24} {spec.title}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    print(catalog.get(args.name).to_json(), end="")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    specs = _select(args)
+    if not specs:
+        print("no scenarios match")
+        return 1
+    run_root: Optional[Path] = None if args.no_persist else Path(args.run_root)
+    runner = ScenarioRunner(run_root=run_root)
+    baseline_root = Path(args.baseline_root)
+    failures = 0
+    for spec in specs:
+        result = runner.run(spec)
+        where = f"  -> {result.artifacts_dir}" if result.artifacts_dir else ""
+        print(f"{spec.name}: {result.status}{where}")
+        if result.error:
+            print(f"  error: {result.error}")
+        for message in result.invariant_failures:
+            print(f"  invariant: {message}")
+        if not result.passed:
+            failures += 1
+            continue
+        if args.compare and spec.baselines:
+            comparison = compare_run_dir(
+                spec, result.artifacts_dir, baseline_root
+            ) if result.artifacts_dir else None
+            if comparison is None:
+                print("  compare skipped: no persisted artifacts")
+                continue
+            print("  " + comparison.render().replace("\n", "\n  "))
+            if not comparison.passed:
+                failures += 1
+    print(f"{len(specs) - failures}/{len(specs)} scenarios passed")
+    return 1 if failures else 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    spec = catalog.get(args.name)
+    if not spec.baselines:
+        print(f"{spec.name} declares no baseline checks")
+        return 1
+    scenario_dir = Path(args.run_root) / spec.name
+    run_dir = (
+        scenario_dir / args.run_id if args.run_id else latest_run_dir(scenario_dir)
+    )
+    if run_dir is None or not run_dir.is_dir():
+        print(f"no persisted runs under {scenario_dir} (run it first)")
+        return 1
+    comparison = compare_run_dir(spec, run_dir, Path(args.baseline_root))
+    print(comparison.render())
+    return 0 if comparison.passed else 1
+
+
+def _add_filters(parser: argparse.ArgumentParser, with_names: bool = True) -> None:
+    if with_names:
+        parser.add_argument("names", nargs="*", help="scenario names (default: all)")
+    parser.add_argument("--tag", action="append", default=[],
+                        help="require this tag (repeatable, ANDed)")
+    parser.add_argument("--deterministic", action="store_true",
+                        help="only seeded sim/local scenarios")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Run and check the declarative scenario catalog.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list catalog entries")
+    _add_filters(p_list, with_names=False)
+    p_list.set_defaults(func=_cmd_list)
+
+    p_show = sub.add_parser("show", help="print one spec as JSON")
+    p_show.add_argument("name")
+    p_show.set_defaults(func=_cmd_show)
+
+    p_run = sub.add_parser("run", help="run scenarios and check invariants")
+    _add_filters(p_run)
+    p_run.add_argument("--run-root", default="runs",
+                       help="artifact directory (default: runs/)")
+    p_run.add_argument("--no-persist", action="store_true",
+                       help="run in-memory, write no artifacts")
+    p_run.add_argument("--compare", action="store_true",
+                       help="also diff persisted runs against BENCH_*.json")
+    p_run.add_argument("--baseline-root", default=".",
+                       help="directory holding the BENCH_*.json baselines")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="diff a persisted run vs baselines")
+    p_cmp.add_argument("name")
+    p_cmp.add_argument("--run-id", default=None,
+                       help="run id (default: the latest run)")
+    p_cmp.add_argument("--run-root", default="runs")
+    p_cmp.add_argument("--baseline-root", default=".")
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Compare a run's metrics against the committed ``BENCH_*.json`` trajectory.
+
+Each :class:`~repro.scenarios.spec.BaselineCheck` on a spec names one
+metric in a run document (``aggregates.json`` or ``perf.json``), one value
+in a committed baseline file, and a tolerance:
+
+* ``rel_tol`` / ``abs_tol`` — tight bands for deterministic simulated
+  metrics (``rel_tol=0`` means exact equality);
+* ``ratio_band`` — wide multiplicative bands for host-measured numbers
+  (ops/sec differ across machines; a 10× band still catches a hot path
+  collapsing or a speedup inverting).
+
+The result renders as a readable diff::
+
+    metric                                   actual     baseline   band            status
+    points.0.records_stored                  101000     101000     rel<=0.0        ok
+    base.records_per_host_sec                95321      111679     ratio[0.2,5.0]  ok
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..core.errors import ConfigurationError
+from .spec import BaselineCheck, ScenarioSpec, resolve_path
+
+
+@dataclass
+class CheckOutcome:
+    check: BaselineCheck
+    actual: Any = None
+    expected: Any = None
+    ok: bool = False
+    detail: str = ""
+
+    @property
+    def band_label(self) -> str:
+        if self.check.rel_tol is not None:
+            return f"rel<={self.check.rel_tol}"
+        if self.check.abs_tol is not None:
+            return f"abs<={self.check.abs_tol}"
+        lo, hi = self.check.ratio_band  # type: ignore[misc]
+        return f"ratio[{lo},{hi}]"
+
+    def row(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        note = f"  {self.detail}" if self.detail and not self.ok else ""
+        return (
+            f"{self.check.metric:<42} {self.actual!s:>12} {self.expected!s:>12} "
+            f"{self.band_label:<16} {status}{note}"
+        )
+
+
+@dataclass
+class ComparisonResult:
+    scenario: str
+    outcomes: List[CheckOutcome] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def failures(self) -> List[CheckOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def render(self) -> str:
+        lines = [
+            f"baseline comparison — {self.scenario}: "
+            f"{'PASS' if self.passed else 'FAIL'} "
+            f"({len(self.outcomes) - len(self.failures)}/{len(self.outcomes)} checks ok)",
+            f"{'metric':<42} {'actual':>12} {'baseline':>12} {'band':<16} status",
+        ]
+        lines.extend(outcome.row() for outcome in self.outcomes)
+        return "\n".join(lines)
+
+
+def _within(check: BaselineCheck, actual: float, expected: float) -> "tuple[bool, str]":
+    if check.rel_tol is not None:
+        bound = check.rel_tol * abs(expected)
+        ok = abs(actual - expected) <= bound
+        return ok, "" if ok else f"|Δ|={abs(actual - expected):g} > {bound:g}"
+    if check.abs_tol is not None:
+        ok = abs(actual - expected) <= check.abs_tol
+        return ok, "" if ok else f"|Δ|={abs(actual - expected):g} > {check.abs_tol:g}"
+    lo, hi = check.ratio_band  # type: ignore[misc]
+    if expected == 0:
+        return actual == 0, "baseline is 0"
+    ratio = actual / expected
+    ok = lo <= ratio <= hi
+    return ok, "" if ok else f"ratio={ratio:.3f} outside [{lo}, {hi}]"
+
+
+def compare_documents(
+    spec: ScenarioSpec,
+    aggregates: Dict[str, Any],
+    perf: Dict[str, Any],
+    baseline_root: Path,
+) -> ComparisonResult:
+    """Evaluate every baseline check of ``spec`` against loaded run docs."""
+    result = ComparisonResult(scenario=spec.name)
+    baselines: Dict[str, Any] = {}
+    for check in spec.baselines:
+        outcome = CheckOutcome(check=check)
+        result.outcomes.append(outcome)
+        if check.file not in baselines:
+            path = baseline_root / check.file
+            if not path.is_file():
+                outcome.detail = f"baseline file {path} missing"
+                continue
+            baselines[check.file] = json.loads(path.read_text())
+        document = aggregates if check.source == "aggregates" else perf
+        try:
+            outcome.actual = resolve_path(document, check.metric)
+        except KeyError as exc:
+            outcome.detail = f"run metric missing: {exc.args[0]}"
+            continue
+        try:
+            outcome.expected = resolve_path(baselines[check.file], check.baseline_path)
+        except KeyError as exc:
+            outcome.detail = f"baseline value missing: {exc.args[0]}"
+            continue
+        try:
+            outcome.ok, outcome.detail = _within(
+                check, float(outcome.actual), float(outcome.expected)
+            )
+        except (TypeError, ValueError):
+            outcome.ok = outcome.actual == outcome.expected
+            if not outcome.ok:
+                outcome.detail = "non-numeric values differ"
+    return result
+
+
+def compare_run_dir(
+    spec: ScenarioSpec, run_dir: Path, baseline_root: Path
+) -> ComparisonResult:
+    """Compare one persisted run's artifacts against the baselines."""
+    aggregates_path = run_dir / "aggregates.json"
+    if not aggregates_path.is_file():
+        raise ConfigurationError(f"no aggregates.json under {run_dir}")
+    aggregates = json.loads(aggregates_path.read_text())
+    perf_path = run_dir / "perf.json"
+    perf = json.loads(perf_path.read_text()) if perf_path.is_file() else {}
+    return compare_documents(spec, aggregates, perf, baseline_root)

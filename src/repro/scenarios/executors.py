@@ -1,0 +1,591 @@
+"""Kind-specific executors driving one scenario spec through its phases.
+
+Every executor implements the same three-phase protocol the runner calls:
+
+* :meth:`Executor.standup` — resolve the spec into ready-to-run points
+  (profiles looked up, configs constructed, fault plans instantiated).
+  Misconfiguration fails here, before any simulation work.
+* :meth:`Executor.experiment` — execute every point and produce the
+  **aggregates** document (deterministic, simulated metrics only — two
+  seeded runs yield byte-identical JSON) plus the **perf** document
+  (host-measured wall-clock numbers, compared only with wide bands).
+* :meth:`Executor.teardown` — release any live resources.  The runner
+  guarantees this runs even when the experiment raises.
+
+The sim-backed kinds (``flstore``/``pipeline``/``corfu``/``geo``/``micro``)
+delegate the actual capacity modelling to :mod:`repro.bench.harness`; the
+``functional`` kind drives the real deployment on the deterministic
+LocalRuntime or over TCP sockets (AioRuntime).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..bench.harness import (
+    PIPELINE_STAGES,
+    run_corfu_sim,
+    run_flstore_sim,
+    run_pipeline_sim,
+)
+from ..chaos.plan import FaultPlan
+from ..chariots.messages import DraftBatch, DraftRecord
+from ..chariots.pipeline import ChariotsDeployment
+from ..core.config import DeploymentSpec, NetworkProfile
+from ..core.errors import ConfigurationError
+from ..sim.kernel import SimRuntime
+from ..sim.workload import LoadClient
+from .spec import PROFILES, ScenarioSpec, resolve_profile
+
+#: Rate threshold (records/s) below which a timeseries source counts as
+#: idle when locating the end of its active window (Figure 9 analysis).
+_ACTIVE_FLOOR = 1000.0
+
+
+@dataclass
+class ExecutionContext:
+    """Everything standup resolved, handed through experiment to teardown."""
+
+    spec: ScenarioSpec
+    #: (label, effective per-point spec, per-point fault plan).
+    points: List[Tuple[str, ScenarioSpec, Optional[FaultPlan]]]
+    #: Per-point timeseries, persisted as a separate run artifact.
+    timeseries: Dict[str, Dict[str, List[Tuple[float, float]]]] = field(
+        default_factory=dict
+    )
+    #: Live resources the functional executor must stop on teardown.
+    resources: List[Any] = field(default_factory=list)
+    torn_down: bool = False
+
+
+class Executor:
+    """Base class: shared standup/teardown; subclasses run one point."""
+
+    kind = ""
+
+    def standup(self, spec: ScenarioSpec) -> ExecutionContext:
+        points: List[Tuple[str, ScenarioSpec, Optional[FaultPlan]]] = []
+        for label, point in spec.points():
+            resolve_profile(point.topology.profile)  # fail fast on typos
+            plan = (
+                FaultPlan.from_dict(point.faults)
+                if point.faults is not None
+                else None
+            )
+            points.append((label, point, plan))
+        if not points:
+            raise ConfigurationError(f"scenario {spec.name!r} has no points")
+        return ExecutionContext(spec=spec, points=points)
+
+    def experiment(
+        self, context: ExecutionContext
+    ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """Returns ``(aggregates, perf)``."""
+        point_metrics: List[Dict[str, Any]] = []
+        perf: Dict[str, Any] = {}
+        fault_stats: Dict[str, int] = {}
+        for label, point, plan in context.points:
+            metrics = self.run_point(context, label, point, plan)
+            host = metrics.pop("_perf", None)
+            if host:
+                perf[label] = host
+            if plan is not None:
+                for key, count in plan.stats.items():
+                    fault_stats[key] = fault_stats.get(key, 0) + count
+            metrics = {"label": label, **metrics}
+            point_metrics.append(metrics)
+        aggregates: Dict[str, Any] = {
+            "kind": context.spec.kind,
+            "scenario": context.spec.name,
+            "points": point_metrics,
+        }
+        best = self.best_point(point_metrics)
+        if best is not None:
+            aggregates["best"] = best
+        if fault_stats:
+            aggregates["faults"] = dict(sorted(fault_stats.items()))
+        return aggregates, perf
+
+    def teardown(self, context: ExecutionContext) -> None:
+        context.resources.clear()
+        context.torn_down = True
+
+    # -- hooks ----------------------------------------------------------- #
+
+    def run_point(
+        self,
+        context: ExecutionContext,
+        label: str,
+        point: ScenarioSpec,
+        plan: Optional[FaultPlan],
+    ) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    #: Metric key identifying each kind's headline number, used to pick the
+    #: sweep's best point (Figure 7's "peak at 150K" claim).
+    primary_metric = ""
+
+    def best_point(
+        self, points: List[Dict[str, Any]]
+    ) -> Optional[Dict[str, Any]]:
+        if not self.primary_metric or not points:
+            return None
+        index = max(
+            range(len(points)),
+            key=lambda i: points[i].get(self.primary_metric, float("-inf")),
+        )
+        return {"index": index, **points[index]}
+
+
+class FLStoreExecutor(Executor):
+    """Figures 7–8: load generators against an FLStore deployment."""
+
+    kind = "flstore"
+    primary_metric = "achieved"
+
+    def run_point(
+        self,
+        context: ExecutionContext,
+        label: str,
+        point: ScenarioSpec,
+        plan: Optional[FaultPlan],
+    ) -> Dict[str, Any]:
+        topo, work = point.topology, point.workload
+        result = run_flstore_sim(
+            n_maintainers=topo.maintainers,
+            target_per_maintainer=work.target_rate,
+            maintainer_profile=resolve_profile(topo.profile),
+            duration=work.duration,
+            warmup=work.warmup,
+            client_batch=work.client_batch,
+            record_size=work.record_size,
+            lid_batch=work.lid_batch,
+            gossip_interval=work.gossip_interval,
+            shared_nic=topo.shared_nic,
+            config=point.flstore_config(),
+            chaos=plan,
+        )
+        return {
+            "maintainers": topo.maintainers,
+            "target": round(work.target_rate),
+            "achieved": round(result.achieved_total),
+            "achieved_per_maintainer": round(result.achieved_per_maintainer),
+            "scaling_fraction": round(result.perfect_scaling_fraction, 4),
+            "records_stored": result.records_stored,
+            "head_lag": result.head_lag_records,
+        }
+
+
+class PipelineExecutor(Executor):
+    """Tables 2–5 and Figure 9: the single-datacenter Chariots pipeline."""
+
+    kind = "pipeline"
+    primary_metric = ""
+
+    def run_point(
+        self,
+        context: ExecutionContext,
+        label: str,
+        point: ScenarioSpec,
+        plan: Optional[FaultPlan],
+    ) -> Dict[str, Any]:
+        topo, work = point.topology, point.workload
+        result = run_pipeline_sim(
+            clients=topo.clients,
+            batchers=topo.batchers,
+            filters=topo.filters,
+            queues=topo.queues,
+            maintainers=topo.maintainers,
+            senders=topo.senders,
+            receivers=topo.receivers,
+            client_target=work.target_rate,
+            total_records=work.total_records,
+            profile=resolve_profile(topo.profile),
+            duration=work.duration,
+            warmup=work.warmup,
+            client_batch=work.client_batch,
+            record_size=work.record_size,
+            lid_batch=work.lid_batch,
+            timeseries_for=work.timeseries_sources,
+            timeseries_bin=work.timeseries_bin,
+            run_past_load=work.run_past_load,
+            shared_nic=topo.shared_nic,
+            pipeline_config=point.pipeline_config() if point.pipeline else None,
+            flstore_config=point.flstore_config(),
+            chaos=plan,
+        )
+        metrics: Dict[str, Any] = {
+            "stage_totals": {
+                stage: round(result.stage_total(stage))
+                for stage, _, _ in PIPELINE_STAGES
+            },
+            "stage_rates": {
+                stage: {m: round(r) for m, r in sorted(rates.items())}
+                for stage, rates in result.stage_rates.items()
+            },
+            "bottleneck": result.bottleneck(),
+            "records_stored": result.records_stored,
+        }
+        if work.timeseries_sources:
+            context.timeseries[label] = {
+                source: [(round(t, 3), round(rate)) for t, rate in series]
+                for source, series in result.timeseries.items()
+            }
+        if work.drain_probe is not None:
+            metrics["drain"] = self._drain_summary(result.timeseries, work.drain_probe)
+        if result.wall_clock:
+            metrics["_perf"] = {
+                "wall_clock_seconds": round(result.wall_clock, 3),
+                "records_per_host_sec": round(
+                    result.records_stored / result.wall_clock
+                ),
+                "records_stored": result.records_stored,
+            }
+        return metrics
+
+    @staticmethod
+    def _drain_summary(
+        timeseries: Dict[str, List[Tuple[float, float]]],
+        probe: Tuple[str, str],
+    ) -> Dict[str, Any]:
+        """Figure 9's drain analysis: when did the load stop, how hard did
+        the drain source surge once the upstream NIC pressure lifted."""
+        load_source, drain_source = probe
+        for source in probe:
+            if source not in timeseries:
+                raise ConfigurationError(
+                    f"drain_probe source {source!r} not in timeseries_sources"
+                )
+
+        def active_end(series: List[Tuple[float, float]]) -> float:
+            active = [t for t, rate in series if rate > _ACTIVE_FLOOR]
+            return active[-1] if active else 0.0
+
+        load_end = active_end(timeseries[load_source])
+        drain_end = active_end(timeseries[drain_source])
+        drain_series = timeseries[drain_source]
+        loaded = [r for t, r in drain_series if 0.2 <= t <= load_end]
+        draining = [
+            r for t, r in drain_series if load_end + 0.2 <= t < drain_end
+        ]
+        loaded_mean = sum(loaded) / len(loaded) if loaded else 0.0
+        drain_max = max(draining) if draining else 0.0
+        return {
+            "load_end": round(load_end, 3),
+            "drain_end": round(drain_end, 3),
+            "gap": round(drain_end - load_end, 3),
+            "loaded_mean": round(loaded_mean),
+            "drain_max": round(drain_max),
+            "surge_ratio": round(drain_max / loaded_mean, 3) if loaded_mean else 0.0,
+        }
+
+
+class CorfuExecutor(Executor):
+    """The sequencer-based comparator (scaling ablation)."""
+
+    kind = "corfu"
+    primary_metric = "achieved"
+
+    def run_point(
+        self,
+        context: ExecutionContext,
+        label: str,
+        point: ScenarioSpec,
+        plan: Optional[FaultPlan],
+    ) -> Dict[str, Any]:
+        topo, work = point.topology, point.workload
+        result = run_corfu_sim(
+            n_units=topo.units,
+            target_per_unit=work.target_rate,
+            unit_profile=resolve_profile(topo.profile),
+            sequencer_capacity=topo.sequencer_capacity,
+            grant_batch=topo.grant_batch,
+            duration=work.duration,
+            warmup=work.warmup,
+            record_size=work.record_size,
+            lid_batch=work.lid_batch,
+            chaos=plan,
+        )
+        return {
+            "units": topo.units,
+            "target": round(work.target_rate),
+            "achieved": round(result.achieved_total),
+            "sequencer_grants_per_sec": round(result.sequencer_grants_per_second),
+        }
+
+
+class GeoExecutor(Executor):
+    """Multi-datacenter deployments over simulated WAN links.
+
+    Drives a fixed-size load into the first datacenter and measures how
+    long past the end of the load window the *remote* datacenters need to
+    incorporate everything — the geo-replication lag.  Partitions and
+    message-level faults come from the spec's :class:`FaultPlan`.
+    """
+
+    kind = "geo"
+    primary_metric = ""
+
+    def run_point(
+        self,
+        context: ExecutionContext,
+        label: str,
+        point: ScenarioSpec,
+        plan: Optional[FaultPlan],
+    ) -> Dict[str, Any]:
+        topo, work = point.topology, point.workload
+        if len(topo.datacenters) < 2:
+            raise ConfigurationError("geo scenarios need >= 2 datacenters")
+        if work.total_records is None:
+            raise ConfigurationError("geo scenarios need workload.total_records")
+        network = (
+            NetworkProfile(wan_rtt=topo.wan_rtt)
+            if topo.wan_rtt is not None
+            else NetworkProfile()
+        )
+        runtime = SimRuntime(
+            network=network, record_size=work.record_size, chaos=plan
+        )
+        profile = resolve_profile(topo.profile)
+
+        def placer(actor: Any) -> None:
+            datacenter = actor.name.split("/")[0]
+            runtime.place_on_new_machine(
+                actor, profile=profile, datacenter=datacenter
+            )
+
+        deployment = ChariotsDeployment(
+            runtime,
+            list(topo.datacenters),
+            spec=DeploymentSpec(
+                clients=1,
+                batchers=topo.batchers,
+                filters=topo.filters,
+                queues=topo.queues,
+                maintainers=topo.maintainers,
+                senders=topo.senders,
+                receivers=topo.receivers,
+            ),
+            batch_size=work.lid_batch,
+            pipeline_config=point.pipeline_config() if point.pipeline else None,
+            flstore_config=point.flstore_config(),
+            n_indexers=0,
+            placer=placer,
+        )
+
+        home = topo.datacenters[0]
+        remotes = list(topo.datacenters[1:])
+        body = b"\x00" * work.record_size
+        sequence = itertools.count(1)
+
+        def factory(client_name: str, batch_index: int, n: int) -> DraftBatch:
+            return DraftBatch(
+                [
+                    DraftRecord(client=client_name, seq=next(sequence), body=body)
+                    for _ in range(n)
+                ]
+            )
+
+        client = LoadClient(
+            f"{home}/loadgen",
+            targets=[deployment[home].batchers[0].name],
+            batch_factory=factory,
+            target_rate=work.target_rate,
+            batch_size=work.client_batch,
+            total_records=work.total_records,
+            max_outstanding=work.max_outstanding,
+        )
+        runtime.place_on_new_machine(
+            client, profile=PROFILES["load-generator"], datacenter=home
+        )
+
+        load_end = work.total_records / work.target_rate
+        deadline = load_end + work.settle_seconds
+        runtime.start()
+        caught_up: Optional[float] = None
+        while runtime.now < deadline:
+            runtime.run_for(0.01)
+            if all(
+                deployment[dc].frontier().get(home, 0) >= work.total_records
+                for dc in remotes
+            ):
+                caught_up = max(0.0, runtime.now - load_end)
+                break
+        # A short quiet period so every datacenter finishes incorporating.
+        runtime.run_for(0.2)
+        return {
+            "records": {
+                dc: deployment[dc].total_records() for dc in topo.datacenters
+            },
+            "caught_up": caught_up is not None,
+            "lag_seconds": round(caught_up, 4) if caught_up is not None else None,
+            "converged": deployment.converged(),
+        }
+
+
+class FunctionalExecutor(Executor):
+    """The real protocol stack, functionally: append, settle, converge.
+
+    On ``local`` this is fully deterministic (the LocalRuntime's virtual
+    clock); on ``aio`` the same deployment runs over real TCP sockets and
+    is excluded from the deterministic catalog subset.
+    """
+
+    kind = "functional"
+    primary_metric = ""
+
+    def run_point(
+        self,
+        context: ExecutionContext,
+        label: str,
+        point: ScenarioSpec,
+        plan: Optional[FaultPlan],
+    ) -> Dict[str, Any]:
+        if point.runtime == "aio":
+            return self._run_aio(point)
+        return self._run_local(point, plan)
+
+    def _deployment_spec(self, point: ScenarioSpec) -> DeploymentSpec:
+        topo = point.topology
+        return DeploymentSpec(
+            clients=1,
+            batchers=topo.batchers,
+            filters=topo.filters,
+            queues=topo.queues,
+            maintainers=topo.maintainers,
+            senders=topo.senders,
+            receivers=topo.receivers,
+        )
+
+    def _run_local(
+        self, point: ScenarioSpec, plan: Optional[FaultPlan]
+    ) -> Dict[str, Any]:
+        from ..runtime.local import LocalRuntime
+
+        work = point.workload
+        runtime = LocalRuntime(chaos=plan)
+        deployment = ChariotsDeployment(
+            runtime,
+            list(point.topology.datacenters),
+            spec=self._deployment_spec(point),
+            batch_size=work.lid_batch,
+            pipeline_config=point.pipeline_config() if point.pipeline else None,
+            flstore_config=point.flstore_config(),
+        )
+        acks: List[Any] = []
+        for dc in point.topology.datacenters:
+            client = deployment.client(dc)
+            for i in range(work.append_records):
+                client.append(f"{dc}-{i}", on_done=acks.append)
+        converged = deployment.settle(max_seconds=work.settle_seconds)
+        return self._functional_metrics(deployment, point, converged, len(acks))
+
+    def _run_aio(self, point: ScenarioSpec) -> Dict[str, Any]:
+        import asyncio
+
+        from ..net.aio_runtime import AioRuntime
+
+        work = point.workload
+
+        async def scenario() -> Dict[str, Any]:
+            runtime = AioRuntime()
+            deployment = ChariotsDeployment(
+                runtime,
+                list(point.topology.datacenters),
+                spec=self._deployment_spec(point),
+                batch_size=work.lid_batch,
+                pipeline_config=point.pipeline_config() if point.pipeline else None,
+                flstore_config=point.flstore_config(),
+            )
+            await runtime.start()
+            try:
+                acks: List[Any] = []
+                for dc in point.topology.datacenters:
+                    client = deployment.client(dc)
+                    for i in range(work.append_records):
+                        client.append(f"{dc}-{i}", on_done=acks.append)
+                expected = work.append_records * len(point.topology.datacenters)
+                converged = await runtime.settle(
+                    lambda: len(acks) == expected and deployment.converged(),
+                    max_seconds=work.settle_seconds,
+                )
+                return self._functional_metrics(
+                    deployment, point, converged, len(acks)
+                )
+            finally:
+                await runtime.stop()
+
+        return asyncio.run(scenario())
+
+    @staticmethod
+    def _functional_metrics(
+        deployment: ChariotsDeployment,
+        point: ScenarioSpec,
+        converged: bool,
+        acked: int,
+    ) -> Dict[str, Any]:
+        from ..core import causal_order_respected
+
+        causal_ok = all(
+            causal_order_respected(
+                [entry.record for entry in deployment[dc].all_entries()]
+            )
+            for dc in point.topology.datacenters
+        )
+        return {
+            "records": {
+                dc: deployment[dc].total_records()
+                for dc in point.topology.datacenters
+            },
+            "appended": point.workload.append_records
+            * len(point.topology.datacenters),
+            "acked": acked,
+            "converged": converged,
+            "causal_order_ok": causal_ok,
+        }
+
+
+class MicroExecutor(Executor):
+    """Host-performance micro suite (the BENCH_micro.json trajectory)."""
+
+    kind = "micro"
+    primary_metric = ""
+
+    def run_point(
+        self,
+        context: ExecutionContext,
+        label: str,
+        point: ScenarioSpec,
+        plan: Optional[FaultPlan],
+    ) -> Dict[str, Any]:
+        from ..bench.micro import run_micro_suite
+
+        work = point.workload
+        report = run_micro_suite(batch=work.micro_batch, repeats=work.micro_repeats)
+        return {
+            "batch": work.micro_batch,
+            "repeats": work.micro_repeats,
+            "_perf": report,
+        }
+
+
+EXECUTORS: Dict[str, Executor] = {
+    executor.kind: executor
+    for executor in (
+        FLStoreExecutor(),
+        PipelineExecutor(),
+        CorfuExecutor(),
+        GeoExecutor(),
+        FunctionalExecutor(),
+        MicroExecutor(),
+    )
+}
+
+
+def executor_for(spec: ScenarioSpec) -> Executor:
+    try:
+        return EXECUTORS[spec.kind]
+    except KeyError:
+        raise ConfigurationError(f"no executor for kind {spec.kind!r}") from None

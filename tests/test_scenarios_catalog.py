@@ -1,0 +1,216 @@
+"""The catalog itself: completeness, the deterministic regression subset,
+the baseline compare step, and the CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import (
+    CATALOG,
+    compare_documents,
+    get,
+    run_scenario,
+    select,
+    tags_in_use,
+)
+from repro.scenarios.__main__ import main as cli_main
+from repro.core.errors import ConfigurationError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+#: Catalog entries cheap enough for tier-1 (seconds-scale); the rest of the
+#: deterministic subset runs under ``-m slow`` (make chaos / scenarios CI).
+_QUICK = {
+    "fig7-single-maintainer",
+    "table2-basic-pipeline",
+    "fig9-stage-timeseries",
+    "overload-backpressure",
+    "geo-replication-lag",
+    "geo-partition-soak",
+    "flstore-chaos-soak",
+    "functional-convergence-local",
+    "pipeline-baseline",
+    "micro-hotpaths",
+}
+
+
+# --------------------------------------------------------------------- #
+# Catalog completeness
+# --------------------------------------------------------------------- #
+
+
+def test_catalog_names_are_unique():
+    names = [spec.name for spec in CATALOG]
+    assert len(names) == len(set(names))
+
+
+def test_every_figure_and_table_bench_script_has_a_catalog_entry():
+    """Each bench_fig*/bench_table* script is subsumed by an entry whose
+    ``source`` field names it — deleting the entry breaks this test."""
+    scripts = sorted(
+        p.name for p in BENCH_DIR.glob("bench_fig*.py")
+    ) + sorted(p.name for p in BENCH_DIR.glob("bench_table*.py"))
+    assert scripts, "bench scripts vanished?"
+    covered = {Path(spec.source).name for spec in CATALOG if spec.source}
+    missing = [script for script in scripts if script not in covered]
+    assert not missing, f"bench scripts without a catalog entry: {missing}"
+
+
+def test_sources_point_at_real_files():
+    for spec in CATALOG:
+        if spec.source:
+            assert (REPO_ROOT / spec.source).is_file(), spec.source
+
+
+def test_paper_figure_tag_covers_fig7_to_table5():
+    tagged = {spec.name for spec in select(tags=["paper-figure"])}
+    assert {
+        "fig7-single-maintainer",
+        "fig8-scaling-private-131k",
+        "fig8-scaling-public-125k",
+        "fig8-scaling-public-250k",
+        "fig9-stage-timeseries",
+        "table2-basic-pipeline",
+        "table3-two-clients",
+        "table4-two-batchers",
+        "table5-two-per-stage",
+    } <= tagged
+
+
+def test_every_entry_is_tagged_and_checked():
+    for spec in CATALOG:
+        assert spec.tags, spec.name
+        assert spec.invariants or spec.baselines, spec.name
+
+
+def test_required_tags_present():
+    assert {"paper-figure", "soak", "overload", "geo", "chaos"} <= set(tags_in_use())
+
+
+def test_deterministic_selection_excludes_aio():
+    names = {spec.name for spec in select(deterministic=True)}
+    assert "functional-convergence-aio" not in names
+    assert "functional-convergence-local" in names
+
+
+def test_get_unknown_scenario_raises():
+    with pytest.raises(ConfigurationError, match="unknown scenario"):
+        get("no-such-entry")
+
+
+# --------------------------------------------------------------------- #
+# The deterministic regression subset, as pytest
+# --------------------------------------------------------------------- #
+
+_DETERMINISTIC = select(deterministic=True)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        pytest.param(
+            spec.name,
+            marks=() if spec.name in _QUICK else pytest.mark.slow,
+        )
+        for spec in _DETERMINISTIC
+    ],
+)
+def test_catalog_entry_passes_its_invariants(name):
+    result = run_scenario(get(name), run_root=None, raise_on_failure=False)
+    assert result.error is None, result.error
+    assert result.invariant_failures == []
+
+
+# --------------------------------------------------------------------- #
+# The compare step
+# --------------------------------------------------------------------- #
+
+
+def _baseline_run():
+    spec = get("pipeline-baseline")
+    result = run_scenario(spec, run_root=None)
+    return spec, result
+
+
+def test_compare_within_band_passes():
+    spec, result = _baseline_run()
+    comparison = compare_documents(spec, result.aggregates, result.perf, REPO_ROOT)
+    assert comparison.passed, comparison.render()
+    assert "PASS (3/3 checks ok)" in comparison.render()
+
+
+def test_compare_doctored_aggregate_fails_with_readable_diff():
+    spec, result = _baseline_run()
+    doctored = json.loads(json.dumps(result.aggregates))
+    doctored["points"][0]["records_stored"] += 5_000
+    comparison = compare_documents(spec, doctored, result.perf, REPO_ROOT)
+    assert not comparison.passed
+    (failure,) = comparison.failures
+    assert failure.check.metric == "points.0.records_stored"
+    rendered = comparison.render()
+    assert "FAIL" in rendered
+    assert "points.0.records_stored" in rendered
+    assert "rel<=0.0" in rendered  # the violated band is named
+    assert str(doctored["points"][0]["records_stored"]) in rendered
+
+
+def test_compare_out_of_ratio_band_fails():
+    spec, result = _baseline_run()
+    doctored = json.loads(json.dumps(result.perf))
+    doctored["base"]["records_per_host_sec"] = 1  # 5 orders of magnitude off
+    comparison = compare_documents(spec, result.aggregates, doctored, REPO_ROOT)
+    assert not comparison.passed
+    assert any("ratio=" in f.detail for f in comparison.failures)
+
+
+def test_compare_missing_baseline_file_is_a_failure(tmp_path):
+    spec, result = _baseline_run()
+    comparison = compare_documents(spec, result.aggregates, result.perf, tmp_path)
+    assert not comparison.passed
+    assert all("missing" in f.detail for f in comparison.failures)
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+
+def test_cli_list_and_show(capsys):
+    assert cli_main(["list", "--tag", "paper-figure"]) == 0
+    out = capsys.readouterr().out
+    assert "fig7-single-maintainer" in out
+    assert cli_main(["show", "geo-partition-soak"]) == 0
+    shown = json.loads(capsys.readouterr().out)
+    assert shown["name"] == "geo-partition-soak"
+
+
+def test_cli_run_persists_and_compares(tmp_path, capsys):
+    code = cli_main([
+        "run", "pipeline-baseline",
+        "--run-root", str(tmp_path),
+        "--compare", "--baseline-root", str(REPO_ROOT),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert (tmp_path / "pipeline-baseline" / "run-0001" / "aggregates.json").is_file()
+    assert "PASS" in out
+    # And the standalone compare subcommand against the persisted run.
+    assert cli_main([
+        "compare", "pipeline-baseline",
+        "--run-root", str(tmp_path),
+        "--baseline-root", str(REPO_ROOT),
+    ]) == 0
+
+
+def test_cli_compare_without_runs_errors(tmp_path, capsys):
+    assert cli_main([
+        "compare", "pipeline-baseline", "--run-root", str(tmp_path),
+    ]) == 1
+    assert "no persisted runs" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_scenario_name():
+    with pytest.raises(SystemExit):
+        cli_main(["run", "no-such-entry", "--no-persist"])

@@ -5,42 +5,29 @@ round.  Throughput is insensitive (ownership is computed, not coordinated),
 but the head of the log trails further behind with larger rounds: the HL
 can only pass a round once its owner has filled it, so a lightly-loaded
 maintainer with a huge round holds the whole log's head back.
+
+The sweep, topology, and the flat-throughput/HL-lag assertions live on the
+catalog entry (``repro.scenarios``); this script renders the table.
 """
 
 import pytest
 
-from repro.bench import run_flstore_sim
-
-from conftest import kilo, print_header, run_once
-
-BATCH_SIZES = [100, 1000, 10_000, 50_000]
-
-
-def sweep():
-    rows = []
-    for batch in BATCH_SIZES:
-        result = run_flstore_sim(
-            n_maintainers=4,
-            target_per_maintainer=100_000,
-            lid_batch=batch,
-            duration=1.0,
-            warmup=0.3,
-        )
-        rows.append((batch, result.achieved_total, result.head_lag_records))
-    return rows
+from conftest import kilo, print_header, run_catalog_entry
 
 
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_lid_batch_size(benchmark):
-    rows = run_once(benchmark, sweep)
+    result = run_catalog_entry(benchmark, "ablation-lid-batch-size")
+    points = result.aggregates["points"]
 
-    print_header("Ablation: LId round size vs throughput and HL lag")
+    print_header(result.spec.title)
     print(f"{'batch':>8}  {'throughput':>11}  {'HL lag (records)':>17}")
-    for batch, achieved, lag in rows:
-        print(f"{batch:>8}  {kilo(achieved):>11}  {lag:>17}")
+    for point in points:
+        batch = point["label"].split("-", 1)[1]
+        print(f"{batch:>8}  {kilo(point['achieved']):>11}  "
+              f"{point['head_lag']:>17}")
 
-    rates = [achieved for _, achieved, _ in rows]
-    assert max(rates) - min(rates) < 0.05 * max(rates)
-    # Much larger rounds leave a (weakly) larger HL lag.
-    assert rows[-1][2] >= rows[0][2]
-    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["rows"] = [
+        (point["label"], point["achieved"], point["head_lag"])
+        for point in points
+    ]

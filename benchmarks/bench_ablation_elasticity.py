@@ -6,87 +6,30 @@ maintainers; mid-run, two more maintainers join via future reassignment
 steps up from the saturated rate toward the offered load — the paper's
 "Chariots overcome [the bottleneck] by adding more resources" claim,
 measured on a live system with no restart.
+
+The deployment, expansion point, and the saturated-before/step-up-after
+assertions live on the catalog entry (``repro.scenarios``); this script
+renders the summary.
 """
 
 import pytest
 
-from repro.bench.harness import GENERATOR, _template_record
-from repro.chariots.elasticity import expand_maintainers
-from repro.core import PRIVATE_CLOUD, FLStoreConfig
-from repro.flstore.messages import AppendRequest
-from repro.flstore.store import FLStore
-from repro.sim import LoadClient, SimRuntime
-
-OFFERED = 480_000.0  # well beyond two maintainers (~264 K overloaded ~242 K)
-EXPAND_AT = 1.5
-DURATION = 3.5
-
-
-def run_elastic():
-    runtime = SimRuntime()
-
-    def place_data(actor):
-        runtime.place_on_new_machine(actor, profile=PRIVATE_CLOUD)
-
-    store = FLStore(
-        runtime,
-        n_maintainers=2,
-        n_indexers=0,
-        batch_size=1000,
-        config=FLStoreConfig(batch_size=1000),
-        placer=place_data,
-    )
-    template = _template_record(512)
-
-    def factory(client_name, batch_index, n):
-        return AppendRequest(request_id=batch_index, records=[template] * n,
-                             want_results=False)
-
-    clients = []
-    for i in range(4):
-        client = LoadClient(
-            f"loadgen/{i}",
-            targets=[m.name for m in store.maintainers],
-            batch_factory=factory,
-            target_rate=OFFERED / 4,
-            batch_size=500,
-            max_outstanding=8,
-        )
-        runtime.place_on_new_machine(client, profile=GENERATOR)
-        clients.append(client)
-
-    runtime.run(until_time=EXPAND_AT)
-    expand_maintainers(store, 2, placer=place_data)
-    names = [m.name for m in store.maintainers]
-    for client in clients:
-        client.set_targets(names)  # session refresh after the expansion
-    runtime.run(until_time=DURATION)
-
-    def stage_rate(start, end):
-        return sum(
-            runtime.metrics.rate(m.name, "in_records", start, end)
-            for m in store.maintainers
-            if runtime.metrics.total(m.name, "in_records") > 0
-        )
-
-    before = stage_rate(0.5, EXPAND_AT)
-    after = stage_rate(EXPAND_AT + 0.7, DURATION)
-    return before, after
+from conftest import run_catalog_entry
 
 
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_live_maintainer_expansion(benchmark):
-    before, after = benchmark.pedantic(run_elastic, rounds=1, iterations=1)
+    result = run_catalog_entry(benchmark, "ablation-elasticity")
+    (point,) = result.aggregates["points"]
 
     print()
-    print("Ablation: live maintainer expansion under overload")
-    print(f"  offered load:            {OFFERED / 1000:7.1f}K appends/s")
-    print(f"  2 maintainers (saturated): {before / 1000:7.1f}K")
-    print(f"  4 maintainers (expanded):  {after / 1000:7.1f}K")
+    print(result.spec.title)
+    print(f"  offered load:              {point['offered'] / 1000:7.1f}K appends/s")
+    print(f"  {point['maintainers_before']} maintainers (saturated): "
+          f"{point['before'] / 1000:7.1f}K")
+    print(f"  {point['maintainers_after']} maintainers (expanded):  "
+          f"{point['after'] / 1000:7.1f}K")
 
-    # Saturated before (well under the offered load), big step up after.
-    assert before < 0.6 * OFFERED
-    assert after > 1.5 * before
-    assert after > 0.9 * OFFERED
-    benchmark.extra_info["before"] = round(before)
-    benchmark.extra_info["after"] = round(after)
+    benchmark.extra_info["before"] = point["before"]
+    benchmark.extra_info["after"] = point["after"]
+    benchmark.extra_info["step_ratio"] = point["step_ratio"]

@@ -5,49 +5,32 @@ letting non-holders buffer while the token circulates.  This ablation
 verifies that widening the queue stage keeps total sequencing throughput
 flat at fixed load (the token is not a throughput bottleneck at these
 rates) and that work spreads across the queues.
+
+The sweep and the flat-store-rate/work-spread assertions live on the
+catalog entry (``repro.scenarios``); this script renders the table.
 """
 
 import pytest
 
-from repro.bench import run_pipeline_sim
-
-from conftest import kilo, print_header, run_once
-
-QUEUE_COUNTS = [1, 2, 4]
-
-
-def sweep():
-    rows = []
-    for queues in QUEUE_COUNTS:
-        result = run_pipeline_sim(
-            clients=1,
-            queues=queues,
-            duration=1.2,
-            warmup=0.4,
-        )
-        per_queue = sorted(result.stage_rates["Queue"].values())
-        rows.append((queues, result.stage_total("Queue"), per_queue,
-                     result.stage_total("Store")))
-    return rows
+from conftest import kilo, print_header, run_catalog_entry
 
 
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_queue_stage_width(benchmark):
-    rows = run_once(benchmark, sweep)
+    result = run_catalog_entry(benchmark, "ablation-token-queues")
+    points = result.aggregates["points"]
 
-    print_header("Ablation: queue count vs sequencing throughput")
+    print_header(result.spec.title)
     print(f"{'queues':>7}  {'stage total':>11}  {'store total':>11}  per-queue")
-    for queues, total, per_queue, store in rows:
-        spread = ", ".join(kilo(r).strip() for r in per_queue)
-        print(f"{queues:>7}  {kilo(total):>11}  {kilo(store):>11}  [{spread}]")
+    for point in points:
+        per_queue = sorted(point["stage_rates"]["Queue"].values())
+        spread = ", ".join(kilo(rate).strip() for rate in per_queue)
+        print(f"{len(per_queue):>7}  {kilo(point['stage_totals']['Queue']):>11}  "
+              f"{kilo(point['stage_totals']['Store']):>11}  [{spread}]")
 
-    store_rates = [store for _, _, _, store in rows]
-    # Widening the queue stage neither helps nor hurts at fixed load.
-    assert max(store_rates) - min(store_rates) < 0.06 * max(store_rates)
-    # With several queues, every queue sees a share of the work.
-    for queues, _total, per_queue, _store in rows:
-        if queues > 1:
-            assert all(rate > 0 for rate in per_queue)
     benchmark.extra_info["rows"] = [
-        (q, round(t), [round(r) for r in pq], round(s)) for q, t, pq, s in rows
+        (point["label"], point["stage_totals"]["Queue"],
+         sorted(point["stage_rates"]["Queue"].values()),
+         point["stage_totals"]["Store"])
+        for point in points
     ]

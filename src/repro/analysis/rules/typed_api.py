@@ -1,8 +1,8 @@
 """CHR008 — fully annotated public API in the typed packages.
 
-``core/``, ``flstore/``, ``chariots/``, ``runtime/``, and ``net/`` are the
-packages mypy checks in strict mode (pyproject ``[tool.mypy]`` overrides);
-strict mode fails on any
+``core/``, ``flstore/``, ``chariots/``, ``runtime/``, ``net/``, and
+``bench/`` are the packages mypy checks in strict mode (pyproject
+``[tool.mypy]`` overrides); strict mode fails on any
 unannotated def, but mypy isn't installable in every environment this repo
 runs in.  This rule enforces the load-bearing subset locally and offline:
 every public function/method in those packages must annotate its return
@@ -20,7 +20,9 @@ from ..project import ModuleInfo
 from .base import ModuleRule
 
 #: Packages whose public defs must be fully annotated (the mypy-strict set).
-TYPED_PACKAGES: Tuple[str, ...] = ("core", "flstore", "chariots", "runtime", "net")
+TYPED_PACKAGES: Tuple[str, ...] = (
+    "core", "flstore", "chariots", "runtime", "net", "bench",
+)
 
 #: Dunder methods with fixed, inferable signatures that strict mypy accepts
 #: without annotations are still annotated in this codebase; but __init__
@@ -35,9 +37,9 @@ class TypedApiRule(ModuleRule):
     name = "untyped-public-api"
     description = (
         "Every public function and method in core/, flstore/, chariots/, "
-        "runtime/, and net/ must annotate its return type and all parameters "
-        "(self/cls excepted); this is the offline-checkable core of the mypy "
-        "strict gate."
+        "runtime/, net/, and bench/ must annotate its return type and all "
+        "parameters (self/cls excepted); this is the offline-checkable core "
+        "of the mypy strict gate."
     )
 
     def check_module(self, module: ModuleInfo) -> Iterator[Finding]:

@@ -19,11 +19,28 @@ from .micro import (
     run_pipeline_suite,
     write_json_report,
 )
+# Imported lazily (PEP 562): eager import would shadow the module under
+# ``python -m repro.bench.multiproc`` (runpy double-import warning) and
+# re-trigger in every spawned worker process.
+_MULTIPROC_EXPORTS = (
+    "MultiprocBenchResult",
+    "run_multiproc_suite",
+    "run_pipeline_multiproc",
+)
+
+
+def __getattr__(name: str) -> object:
+    if name in _MULTIPROC_EXPORTS:
+        from . import multiproc
+
+        return getattr(multiproc, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "CorfuSimResult",
     "FLStoreSimResult",
     "GENERATOR",
+    "MultiprocBenchResult",
     "PipelineSimResult",
     "SystemEntry",
     "TABLE1",
@@ -36,6 +53,8 @@ __all__ = [
     "run_corfu_sim",
     "run_flstore_sim",
     "run_micro_suite",
+    "run_multiproc_suite",
+    "run_pipeline_multiproc",
     "run_pipeline_suite",
     "write_json_report",
 ]

@@ -20,7 +20,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..chaos.plan import FaultPlan
@@ -38,6 +38,7 @@ from ..core.config import (
     PipelineConfig,
 )
 from ..flstore.messages import AppendRequest, PlaceRecords
+from ..flstore.range_map import OwnershipPlan
 from ..flstore.store import FLStore
 from ..core.record import Record
 from ..runtime.actor import Actor
@@ -351,7 +352,7 @@ class CorfuLoadClient(Actor):
         self,
         name: str,
         sequencer: str,
-        plan,
+        plan: OwnershipPlan,
         template: Record,
         target_rate: float,
         grant_batch: int = 16,
@@ -382,7 +383,7 @@ class CorfuLoadClient(Actor):
 
         self.set_timer(interval, tick, periodic=True)
 
-    def on_message(self, sender: str, message) -> None:
+    def on_message(self, sender: str, message: Any) -> None:
         if not isinstance(message, ReservedRange):
             return
         self._outstanding -= 1

@@ -1,0 +1,281 @@
+"""Multi-process pipeline bench: the zero-copy ``RecordBatch`` wire path.
+
+Unlike :mod:`.harness` (simulated throughput) and :mod:`.micro`
+(single-process host costs), this module measures real parallelism: the
+:class:`~repro.runtime.multiproc.MultiprocRuntime` hosts one
+:class:`~repro.flstore.maintainer.LogMaintainer` per worker process, the
+parent pre-encodes a template batch once with
+:func:`~repro.net.binary_codec.encode_value_binary` and blasts the frame
+over the sockets via :meth:`~repro.runtime.multiproc.MultiprocRuntime.send_encoded`.
+Each worker decodes lazily (memoryview spans, no per-record objects on the
+routing path) and lands the run through the maintainer's bulk-append fast
+path, so the measured rate isolates the wire + ingest cost.
+
+``workers=0`` runs the identical codec round trip inline in one process —
+the single-process baseline the committed ``BENCH_multiproc.json`` scales
+against.  The report follows the deterministic shape of
+``BENCH_pipeline.json`` (sorted keys, no timestamps).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.record import Record, RecordId
+from ..flstore.maintainer import LogMaintainer
+from ..flstore.range_map import OwnershipPlan
+from ..net.binary_codec import encode_value_binary
+from ..runtime.messages import RecordBatch
+from ..runtime.multiproc import MultiprocRuntime
+from .micro import write_json_report
+
+DEFAULT_TOTAL = 200_000
+DEFAULT_BATCH = 1_000
+DEFAULT_RECORD_SIZE = 512
+DEFAULT_SWEEP: Tuple[int, ...] = (0, 2, 4, 8)
+DEFAULT_REPEATS = 3
+
+
+def _maintainer_names(n: int) -> List[str]:
+    return [f"bench/maintainer/{i}" for i in range(n)]
+
+
+def bench_placement(name: str, workers: int) -> Optional[int]:
+    """One maintainer per worker: pin by trailing index, round-robin."""
+    if workers <= 0 or "/maintainer/" not in name:
+        return None
+    return int(name.rsplit("/", 1)[1]) % workers
+
+
+def _stored(actor: Any) -> int:
+    """Module-level so :meth:`MultiprocRuntime.peek` can pickle it by ref."""
+    count: int = actor.core.stored_count()
+    return count
+
+
+def _template_frame(batch_size: int, record_size: int) -> bytes:
+    """One contiguous ``0x15`` batch frame, encoded exactly once.
+
+    The rids repeat across resends; maintainers assign a fresh lid per
+    record regardless, so the stored count still tracks delivered records.
+    """
+    body = bytes(record_size)
+    records = [
+        Record(rid=RecordId("bench", toid + 1), body=body)
+        for toid in range(batch_size)
+    ]
+    return encode_value_binary(RecordBatch(records))
+
+
+@dataclass
+class MultiprocBenchResult:
+    """One measured point of the worker sweep."""
+
+    workers: int
+    records_stored: int
+    wall_clock: float
+    bytes_routed: int
+
+    @property
+    def records_per_host_sec(self) -> float:
+        return self.records_stored / self.wall_clock if self.wall_clock else 0.0
+
+
+def run_pipeline_multiproc(
+    workers: int,
+    total_records: int = DEFAULT_TOTAL,
+    batch_size: int = DEFAULT_BATCH,
+    record_size: int = DEFAULT_RECORD_SIZE,
+    timeout: float = 120.0,
+) -> MultiprocBenchResult:
+    """Blast ``total_records`` through ``max(workers, 1)`` maintainers.
+
+    The clock starts at the first send and stops when every worker has
+    acknowledged (via :meth:`~repro.runtime.multiproc.MultiprocRuntime.peek`)
+    storing its full share — wire transfer, lazy decode, and bulk append
+    are all inside the measured window.
+    """
+    n_maintainers = max(workers, 1)
+    names = _maintainer_names(n_maintainers)
+    plan = OwnershipPlan(names, batch_size=batch_size)
+    runtime = MultiprocRuntime(workers=workers, placement=bench_placement)
+    for name in names:
+        runtime.register(LogMaintainer(name, plan, peers=names))
+
+    frame = _template_frame(batch_size, record_size)
+    n_batches = total_records // batch_size
+    expected = n_batches * batch_size
+
+    try:
+        runtime.start()
+        prepared = [
+            runtime.prepare_encoded("bench/driver", name, frame)
+            for name in names
+        ]
+
+        def stored_total() -> int:
+            return sum(runtime.peek(name, _stored) for name in names)
+
+        start = perf_counter()
+        for index in range(n_batches):
+            runtime.send_prepared(prepared[index % n_maintainers])
+        runtime.run_until(lambda: stored_total() >= expected, timeout=timeout)
+        wall = perf_counter() - start
+        return MultiprocBenchResult(
+            workers=workers,
+            records_stored=expected,
+            wall_clock=wall,
+            bytes_routed=runtime.bytes_routed,
+        )
+    finally:
+        runtime.stop()
+
+
+def run_multiproc_suite(
+    sweep: Sequence[int] = DEFAULT_SWEEP,
+    total_records: int = DEFAULT_TOTAL,
+    batch_size: int = DEFAULT_BATCH,
+    record_size: int = DEFAULT_RECORD_SIZE,
+    repeats: int = DEFAULT_REPEATS,
+    baseline: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The full worker sweep, in the shape written to ``BENCH_multiproc.json``.
+
+    Each sweep point keeps its best wall clock of ``repeats`` runs (process
+    spawn cost is excluded — the clock covers send-to-stored only).
+    ``baseline`` (if given) is recorded verbatim under ``"baseline"`` so the
+    speedup over the single-process pipeline stays visible in the file.
+    """
+    points: List[Dict[str, Any]] = []
+    for workers in sweep:
+        best: Optional[MultiprocBenchResult] = None
+        for _ in range(repeats):
+            result = run_pipeline_multiproc(
+                workers,
+                total_records=total_records,
+                batch_size=batch_size,
+                record_size=record_size,
+            )
+            if best is None or result.wall_clock < best.wall_clock:
+                best = result
+        assert best is not None
+        points.append(
+            {
+                "workers": best.workers,
+                "records_stored": best.records_stored,
+                "records_per_host_sec": round(best.records_per_host_sec),
+                "wall_clock_seconds": round(best.wall_clock, 3),
+                "bytes_routed": best.bytes_routed,
+            }
+        )
+    # Scale against the inline (workers=0) point when the sweep has one;
+    # otherwise against the slowest point, so partial sweeps still report.
+    single = min(points, key=lambda p: (int(p["workers"]) != 0, int(p["workers"])))
+    peak = max(points, key=lambda p: int(p["records_per_host_sec"]))
+    report: Dict[str, Any] = {
+        "config": {
+            "batch_size": batch_size,
+            "host_cpus": os.cpu_count(),
+            "record_size": record_size,
+            "total_records": total_records,
+        },
+        "current": {
+            "peak_records_per_host_sec": peak["records_per_host_sec"],
+            "peak_workers": peak["workers"],
+            "points": points,
+            "speedup_over_single_process": round(
+                int(peak["records_per_host_sec"])
+                / int(single["records_per_host_sec"]),
+                2,
+            )
+            if single["records_per_host_sec"]
+            else 0.0,
+        },
+        "method": {
+            "repeats": repeats,
+            "strategy": "best wall-clock of N runs per sweep point; "
+            "clock covers send-to-stored, spawn excluded",
+        },
+    }
+    if baseline is not None:
+        report["baseline"] = baseline
+        pipeline_rate = baseline.get("pipeline_records_per_host_sec")
+        if pipeline_rate:
+            report["current"]["speedup_over_pipeline_baseline"] = round(
+                int(peak["records_per_host_sec"]) / int(pipeline_rate), 2
+            )
+    return report
+
+
+def pipeline_baseline(path: str) -> Optional[Dict[str, Any]]:
+    """The committed single-process pipeline rate (``BENCH_pipeline.json``),
+    pinned into the report so the wire path's speedup stays visible."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    rate = data.get("current", {}).get("records_per_host_sec")
+    if not rate:
+        return None
+    return {
+        "pipeline_records_per_host_sec": rate,
+        "source": os.path.basename(path),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="multi-process zero-copy RecordBatch pipeline bench"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="*",
+        default=list(DEFAULT_SWEEP),
+        help="worker-count sweep (0 = single-process inline baseline)",
+    )
+    parser.add_argument("--total-records", type=int, default=DEFAULT_TOTAL)
+    parser.add_argument("--batch-size", type=int, default=DEFAULT_BATCH)
+    parser.add_argument("--record-size", type=int, default=DEFAULT_RECORD_SIZE)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument(
+        "--json-out", default=None, metavar="PATH", help="write the report"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="BENCH_pipeline.json to pin as the single-process baseline",
+    )
+    args = parser.parse_args(argv)
+    report = run_multiproc_suite(
+        sweep=tuple(args.workers),
+        total_records=args.total_records,
+        batch_size=args.batch_size,
+        record_size=args.record_size,
+        repeats=args.repeats,
+        baseline=pipeline_baseline(args.baseline) if args.baseline else None,
+    )
+    for point in report["current"]["points"]:
+        print(
+            f"  workers={point['workers']:<2} "
+            f"{point['records_per_host_sec']:>10,} records/s  "
+            f"({point['wall_clock_seconds']}s)"
+        )
+    print(
+        f"  peak {report['current']['peak_records_per_host_sec']:,} records/s "
+        f"at {report['current']['peak_workers']} workers, "
+        f"{report['current']['speedup_over_single_process']}x single-process"
+    )
+    if args.json_out:
+        write_json_report(args.json_out, report)
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,7 @@ from ..core.errors import (
 )
 from ..core.record import AppendResult, LogEntry, ReadRules, Record, RecordId
 from ..runtime.actor import Actor
+from ..runtime.messages import RecordBatch
 from .messages import (
     AppendReply,
     AppendRequest,
@@ -585,6 +586,11 @@ class LogMaintainer(Actor):
             self.send(sender, ReadNewReply(message.request_id, entries, upto))
         elif isinstance(message, HeadRequest):
             self.send(sender, HeadReply(message.request_id, self.core.head_of_log()))
+        elif isinstance(message, RecordBatch):
+            # Fire-and-forget ingest for the zero-copy wire path: a lazy
+            # batch materialises its records here, straight into the
+            # bulk-append fast path — no reply, no per-record results.
+            self.core.append_count(message.records)
         elif isinstance(message, GossipHL):
             self.core.on_gossip(message)
         elif isinstance(message, TruncateBelow):

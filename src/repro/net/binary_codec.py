@@ -36,6 +36,7 @@ from typing import Any, Callable, Dict, List, Tuple
 from ..chariots.messages import DraftRecord
 from ..core.errors import NetworkProtocolError
 from ..core.record import AppendResult, LogEntry, Record, RecordId
+from ..runtime.messages import RecordBatch
 from .codec import registered_message_types
 
 # Decoded objects are built without running the frozen-dataclass __init__
@@ -84,6 +85,7 @@ _T_RECORD_ID = 0x11
 _T_LOG_ENTRY = 0x12
 _T_APPEND_RESULT = 0x13
 _T_DRAFT = 0x14
+_T_BATCH = 0x15
 _T_MESSAGE = 0x1F
 
 _U32 = struct.Struct(">I")
@@ -105,7 +107,7 @@ _unpack_i64u8 = _I64U8.unpack_from
 # --------------------------------------------------------------------- #
 
 #: Types with bespoke binary layouts; they never take the generic path.
-_SPECIAL_CLASSES = (Record, RecordId, LogEntry, AppendResult, DraftRecord)
+_SPECIAL_CLASSES = (Record, RecordId, LogEntry, AppendResult, DraftRecord, RecordBatch)
 
 _MSG_NAMES: List[str] = sorted(
     name
@@ -124,6 +126,135 @@ for _index, _cls in enumerate(_MSG_CLASSES):
     _single = len(_names) == 1
     _MSG_ENCODERS[_cls] = (_index, attrgetter(*_names), _single)
     _MSG_DECODERS.append((_cls, len(_names)))
+
+
+# --------------------------------------------------------------------- #
+# Zero-copy RecordBatch frame
+# --------------------------------------------------------------------- #
+
+# Slot descriptor for RecordBatch.records (dataclass slots=True), used by the
+# lazy subclass to store the materialised list under its shadowing property.
+_RB_RECORDS = RecordBatch.__dict__["records"]
+
+
+class LazyRecordBatch(RecordBatch):
+    """A ``RecordBatch`` decoded lazily from one contiguous binary frame.
+
+    The ``0x15`` batch frame is ``u32 count`` followed by ``count`` runs of
+    ``u32 span_len || packed-record-fields``.  Decoding only validates the
+    span bounds and keeps a :class:`memoryview` over the frame — no Record,
+    RecordId, or tuple objects exist until a consumer touches ``records``.
+    The view pins the source buffer, so the batch stays valid after the
+    caller drops its own reference to the frame bytes.
+
+    Sizing queries (``len``, ``record_count``) answer from the span table;
+    re-encoding an untouched batch copies the raw spans straight back out,
+    so a decode → encode trip is byte-identical and parse-free.
+    """
+
+    __slots__ = ("_frame", "_spans")
+
+    def __init__(self, frame: "memoryview", spans: List[Tuple[int, int]]) -> None:
+        self._frame: Any = frame
+        self._spans: Any = spans
+
+    @property
+    def records(self) -> List[Record]:  # type: ignore[override]
+        spans = self._spans
+        if spans is not None:
+            data = bytes(self._frame)
+            materialised: List[Record] = []
+            for start, end in spans:
+                try:
+                    record, pos = _dec_record_fields(data, start)
+                except (IndexError, struct.error) as exc:
+                    raise NetworkProtocolError(
+                        f"corrupt RecordBatch span: {exc}"
+                    ) from exc
+                if pos != end:
+                    raise NetworkProtocolError(
+                        f"RecordBatch span length mismatch at offset {start}"
+                    )
+                materialised.append(record)
+            _RB_RECORDS.__set__(self, materialised)
+            self._spans = None
+            self._frame = None
+        return _RB_RECORDS.__get__(self, LazyRecordBatch)  # type: ignore[no-any-return]
+
+    @records.setter
+    def records(self, value: List[Record]) -> None:
+        _RB_RECORDS.__set__(self, value)
+        self._spans = None
+        self._frame = None
+
+    @property
+    def materialised(self) -> bool:
+        """True once ``records`` has been touched (views released)."""
+        return self._spans is None
+
+    def __len__(self) -> int:
+        spans = self._spans
+        if spans is not None:
+            return len(spans)
+        return len(self.records)
+
+    def record_count(self) -> int:
+        return len(self)
+
+    def __eq__(self, other: object) -> bool:
+        # The dataclass __eq__ is exact-class; a lazy batch must compare
+        # equal to the eager batch it decodes to (both directions — Python
+        # tries the subclass's reflected op first).
+        if isinstance(other, RecordBatch):
+            return self.records == other.records
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+def _enc_batch(batch: RecordBatch, out: bytearray) -> None:
+    out.append(_T_BATCH)
+    if type(batch) is LazyRecordBatch and batch._spans is not None:
+        # Untouched lazy batch: copy the raw spans; nothing is re-parsed.
+        spans = batch._spans
+        frame = batch._frame
+        out += _pack_u32(len(spans))
+        for start, end in spans:
+            out += _pack_u32(end - start)
+            out += frame[start:end]
+        return
+    records = batch.records
+    out += _pack_u32(len(records))
+    for record in records:
+        mark = len(out)
+        out += b"\x00\x00\x00\x00"  # span length, backpatched below
+        _enc_record_fields(record, out)
+        out[mark : mark + 4] = _pack_u32(len(out) - mark - 4)
+
+
+def _dec_batch(buf: Any, pos: int) -> Tuple["LazyRecordBatch", int]:
+    """Validate span bounds and return a lazy view; ``buf`` is bytes or a
+    memoryview (both satisfy ``unpack_from`` and slicing)."""
+    limit = len(buf)
+    if pos + 4 > limit:
+        raise NetworkProtocolError("truncated RecordBatch frame (count)")
+    (count,) = _unpack_u32(buf, pos)
+    pos += 4
+    view = buf if type(buf) is memoryview else memoryview(buf)
+    spans: List[Tuple[int, int]] = []
+    for _ in range(count):
+        if pos + 4 > limit:
+            raise NetworkProtocolError("truncated RecordBatch frame (span length)")
+        (n,) = _unpack_u32(buf, pos)
+        pos += 4
+        end = pos + n
+        if end > limit:
+            raise NetworkProtocolError(
+                f"truncated RecordBatch frame (span of {n} bytes past end)"
+            )
+        spans.append((pos, end))
+        pos = end
+    return LazyRecordBatch(view, spans), pos
 
 
 # --------------------------------------------------------------------- #
@@ -249,6 +380,9 @@ def _encode_value(value: Any, out: bytearray) -> None:
         out += host
         out += _pack_i64(value.rid.toid)
         out += _pack_i64(value.lid)
+        return
+    if kind is RecordBatch or kind is LazyRecordBatch:
+        _enc_batch(value, out)
         return
     if kind is list:
         out.append(_T_LIST)
@@ -476,6 +610,8 @@ def _decode_value(buf: bytes, pos: int) -> Tuple[Any, int]:
         (lid,) = _unpack_i64(buf, pos)
         record, pos = _dec_record_fields(buf, pos + 8)
         return _make_entry(lid, record), pos
+    if tag == _T_BATCH:
+        return _dec_batch(buf, pos)
     if tag == _T_DRAFT:
         n = buf[pos]
         pos += 1
@@ -595,12 +731,23 @@ def decode_value_binary(data: bytes, start: int = 0) -> Any:
 
     ``start`` lets frame handling skip a prefix (the magic byte) without
     copying the buffer.  The top-level Record/LogEntry shapes are dispatched
-    directly — they dominate hot-path traffic.
+    directly — they dominate hot-path traffic.  A top-level ``RecordBatch``
+    frame decodes zero-copy: ``bytes`` and read-only ``memoryview`` inputs
+    are consumed as-is and the lazy batch keeps a view over them.
     """
-    if not isinstance(data, bytes):
+    if not isinstance(data, (bytes, memoryview)):
         data = bytes(data)
     try:
         tag = data[start]
+        if tag == _T_BATCH:
+            value, pos = _dec_batch(data, start + 1)
+            if pos != len(data):
+                raise NetworkProtocolError(
+                    f"trailing garbage after binary value ({len(data) - pos} bytes)"
+                )
+            return value
+        if not isinstance(data, bytes):
+            data = bytes(data)
         if tag == _T_RECORD:
             value, pos = _dec_record_fields(data, start + 1)
         elif tag == _T_LOG_ENTRY:

@@ -83,6 +83,19 @@ _register(
     lambda d: AppendResult(RecordId(d["host"], d["toid"]), d["lid"]),
 )
 
+
+def _encode_record_batch(batch: RecordBatch) -> Dict[str, Any]:
+    # One frame for the whole batch: records are encoded as bare dicts, not
+    # N independent {"$": "Record"} values — the type tag is paid once.
+    return {"records": [_encode_record(r) for r in batch.records]}
+
+
+def _decode_record_batch(data: Dict[str, Any]) -> RecordBatch:
+    return RecordBatch([_decode_record(r) for r in data["records"]])
+
+
+_register("RecordBatch", RecordBatch, _encode_record_batch, _decode_record_batch)
+
 # --------------------------------------------------------------------- #
 # Generic dataclass handling for the protocol messages
 # --------------------------------------------------------------------- #
@@ -124,9 +137,7 @@ _MESSAGE_TYPES: Tuple[Type[Any], ...] = (
     cmsg.ShipmentAck,
     cmsg.PeerVector,
     cmsg.AtableSnapshot,
-    # Runtime: RecordBatch is constructed by external drivers (tests, bench
-    # harnesses) feeding the pipeline, never by src/ itself.
-    RecordBatch,  # chariots: noqa=CHR012
+    # RecordBatch is a special above: it encodes as one contiguous frame.
     # Baseline
     SequencerRequest,
     ReservedRange,
@@ -162,6 +173,9 @@ def encode_value(value: Any) -> Any:
     for name, (cls, encoder, _decoder) in _SPECIALS.items():
         if type(value) is cls:
             return {"$": name, "v": encoder(value)}
+    if isinstance(value, RecordBatch):
+        # Lazy decode-side subclasses (binary codec) take the batch frame.
+        return {"$": "RecordBatch", "v": _encode_record_batch(value)}
     if type(value) in _MESSAGE_SET:
         return {
             "$": type(value).__name__,

@@ -28,7 +28,7 @@ from typing import List, Optional
 from . import catalog
 from .compare import compare_run_dir
 from .runner import ScenarioRunner, latest_run_dir
-from .spec import ScenarioSpec
+from .spec import RUNTIMES, ScenarioSpec
 
 
 def _select(args: argparse.Namespace) -> List[ScenarioSpec]:
@@ -37,6 +37,7 @@ def _select(args: argparse.Namespace) -> List[ScenarioSpec]:
         tags=args.tag,
         names_filter=getattr(args, "names", []),
         deterministic=deterministic,
+        runtime=getattr(args, "runtime", None),
     )
     known = set(catalog.names())
     for name in getattr(args, "names", []):
@@ -121,6 +122,8 @@ def _add_filters(parser: argparse.ArgumentParser, with_names: bool = True) -> No
                         help="require this tag (repeatable, ANDed)")
     parser.add_argument("--deterministic", action="store_true",
                         help="only seeded sim/local scenarios")
+    parser.add_argument("--runtime", default=None, choices=RUNTIMES,
+                        help="only scenarios on this runtime")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -414,6 +414,143 @@ def _functional(runtime: str) -> ScenarioSpec:
     )
 
 
+def _ablation_lid_batch() -> ScenarioSpec:
+    sizes = [100, 1000, 10_000, 50_000]
+    return ScenarioSpec(
+        name="ablation-lid-batch-size",
+        title="Ablation: LId round size vs throughput and head-of-log lag",
+        kind="flstore",
+        tags=("ablation",),
+        topology=TopologySpec(maintainers=4, profile="public-cloud"),
+        workload=WorkloadSpec(target_rate=100_000, duration=1.0, warmup=0.3),
+        sweep=tuple(
+            {"label": f"batch-{size}", "workload": {"lid_batch": size}}
+            for size in sizes
+        ),
+        invariants=(
+            Invariant(metric="points.3.achieved", op="approx",
+                      other="points.0.achieved", rel=0.05,
+                      note="throughput is insensitive to the round size"),
+            Invariant(metric="points.3.head_lag", op="ge",
+                      other="points.0.head_lag",
+                      note="larger rounds hold the head of the log further back"),
+        ),
+        source="benchmarks/bench_ablation_batch_size.py",
+    )
+
+
+def _ablation_gossip_interval() -> ScenarioSpec:
+    intervals = [0.001, 0.005, 0.02, 0.08]
+    return ScenarioSpec(
+        name="ablation-gossip-interval",
+        title="Ablation: gossip interval vs head-of-log staleness",
+        kind="flstore",
+        tags=("ablation",),
+        topology=TopologySpec(maintainers=4, profile="public-cloud"),
+        workload=WorkloadSpec(target_rate=100_000, duration=1.0, warmup=0.3),
+        sweep=tuple(
+            {"label": f"gossip-{round(i * 1000)}ms",
+             "workload": {"gossip_interval": i}}
+            for i in intervals
+        ),
+        invariants=(
+            Invariant(metric="points.3.achieved", op="approx",
+                      other="points.0.achieved", rel=0.05,
+                      note="fixed-size gossip is off the data path"),
+            Invariant(metric="points.3.head_lag", op="gt",
+                      other="points.0.head_lag",
+                      note="HL staleness grows with the gossip interval"),
+        ),
+        source="benchmarks/bench_ablation_gossip_interval.py",
+    )
+
+
+def _ablation_token_queues() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="ablation-token-queues",
+        title="Ablation: queue-stage width under the circulating token (§6.2)",
+        kind="pipeline",
+        tags=("ablation",),
+        workload=WorkloadSpec(target_rate=130_000, duration=1.2, warmup=0.4),
+        sweep=tuple(
+            {"label": f"q{n}", "topology": {"queues": n}} for n in (1, 2, 4)
+        ),
+        invariants=(
+            Invariant(metric="points.2.stage_totals.Store", op="approx",
+                      other="points.0.stage_totals.Store", rel=0.06,
+                      note="the token is not a throughput bottleneck"),
+            Invariant(metric="points.1.stage_totals.Store", op="approx",
+                      other="points.0.stage_totals.Store", rel=0.06,
+                      note="widening the queue stage neither helps nor hurts"),
+            Invariant(metric="points.2.stage_rates.Queue.A/queue/3", op="gt",
+                      value=0, note="every queue sees a share of the work"),
+        ),
+        source="benchmarks/bench_ablation_token_queues.py",
+    )
+
+
+def _ablation_elasticity() -> ScenarioSpec:
+    offered = 480_000.0
+    return ScenarioSpec(
+        name="ablation-elasticity",
+        title="Ablation: live maintainer expansion under overload (§6.3)",
+        kind="flstore",
+        tags=("ablation",),
+        topology=TopologySpec(
+            maintainers=2, clients=4, profile="private-cloud",
+            expand_maintainers=2,
+        ),
+        workload=WorkloadSpec(
+            target_rate=offered, client_batch=500, duration=3.5, warmup=0.7,
+            expand_at=1.5, max_outstanding=8,
+        ),
+        invariants=(
+            Invariant(metric="points.0.before", op="lt",
+                      other="points.0.offered", scale=0.6,
+                      note="two maintainers saturate well under the offered load"),
+            Invariant(metric="points.0.after", op="gt",
+                      other="points.0.before", scale=1.5,
+                      note="throughput steps up once the new maintainers join"),
+            Invariant(metric="points.0.after", op="gt",
+                      other="points.0.offered", scale=0.9,
+                      note="the expanded deployment absorbs the offered load"),
+        ),
+        source="benchmarks/bench_ablation_elasticity.py",
+        notes="workload.target_rate is the total offered load here, spread "
+              "over topology.clients generators; no restart, live §6.3 "
+              "future reassignment.",
+    )
+
+
+def _pipeline_multiproc() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="pipeline-multiproc",
+        title="Perf: zero-copy RecordBatch wire path across worker processes",
+        kind="pipeline",
+        runtime="multiproc",
+        tags=("perf", "net"),
+        topology=TopologySpec(workers=4),
+        workload=WorkloadSpec(total_records=50_000),
+        invariants=(
+            Invariant(metric="points.0.records_stored", op="eq", value=50_000,
+                      note="every routed batch lands via the bulk-append path"),
+            Invariant(metric="points.0.workers", op="eq", value=4),
+        ),
+        baselines=(
+            # Host wall-clock rates vary by machine and core count: a wide
+            # ratio band that still catches a hot-path collapse.
+            BaselineCheck(file="BENCH_multiproc.json",
+                          baseline_path="current.peak_records_per_host_sec",
+                          metric="base.records_per_host_sec", source="perf",
+                          ratio_band=(0.1, 10.0)),
+        ),
+        source="src/repro/bench/multiproc.py",
+        notes="Spawns real worker processes; excluded from the deterministic "
+              "subset. The committed sweep lives in BENCH_multiproc.json "
+              "(python -m repro.bench.multiproc).",
+    )
+
+
 def _pipeline_baseline() -> ScenarioSpec:
     return ScenarioSpec(
         name="pipeline-baseline",
@@ -491,9 +628,14 @@ CATALOG: Tuple[ScenarioSpec, ...] = (
     _geo_partition_soak(),
     _flstore_chaos_soak(),
     _corfu_ceiling(),
+    _ablation_lid_batch(),
+    _ablation_gossip_interval(),
+    _ablation_token_queues(),
+    _ablation_elasticity(),
     _functional("local"),
     _functional("aio"),
     _pipeline_baseline(),
+    _pipeline_multiproc(),
     _micro_hotpaths(),
 )
 
@@ -523,8 +665,10 @@ def select(
     tags: Sequence[str] = (),
     names_filter: Sequence[str] = (),
     deterministic: Optional[bool] = None,
+    runtime: Optional[str] = None,
 ) -> List[ScenarioSpec]:
-    """Catalog entries matching all tags / any listed name / determinism."""
+    """Catalog entries matching all tags / any listed name / determinism /
+    runtime (``sim``/``local``/``aio``/``multiproc``)."""
     out = []
     for spec in CATALOG:
         if names_filter and spec.name not in names_filter:
@@ -532,6 +676,8 @@ def select(
         if any(tag not in spec.tags for tag in tags):
             continue
         if deterministic is not None and spec.deterministic != deterministic:
+            continue
+        if runtime is not None and spec.runtime != runtime:
             continue
         out.append(spec)
     return out

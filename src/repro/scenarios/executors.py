@@ -152,6 +152,8 @@ class FLStoreExecutor(Executor):
         point: ScenarioSpec,
         plan: Optional[FaultPlan],
     ) -> Dict[str, Any]:
+        if point.topology.expand_maintainers:
+            return self._run_elastic(point, plan)
         topo, work = point.topology, point.workload
         result = run_flstore_sim(
             n_maintainers=topo.maintainers,
@@ -177,9 +179,97 @@ class FLStoreExecutor(Executor):
             "head_lag": result.head_lag_records,
         }
 
+    def _run_elastic(
+        self, point: ScenarioSpec, plan: Optional[FaultPlan]
+    ) -> Dict[str, Any]:
+        """Live elasticity (§6.3): maintainers join mid-run under overload.
+
+        ``workload.target_rate`` is the *total* offered load here (spread
+        over ``topology.clients`` generators); ``workload.warmup`` doubles
+        as the settle margin after the expansion, so the ``after`` window
+        excludes the reassignment handshake and the drained backlog surge.
+        """
+        from ..bench.harness import _template_record
+        from ..chariots.elasticity import expand_maintainers
+        from ..flstore.messages import AppendRequest
+        from ..flstore.store import FLStore
+
+        topo, work = point.topology, point.workload
+        if not 0 < work.expand_at < work.duration:
+            raise ConfigurationError(
+                "elastic flstore scenarios need 0 < workload.expand_at < duration"
+            )
+        profile = resolve_profile(topo.profile)
+        runtime = SimRuntime(record_size=work.record_size, chaos=plan)
+
+        def place(actor: Any) -> None:
+            runtime.place_on_new_machine(actor, profile=profile)
+
+        store = FLStore(
+            runtime,
+            n_maintainers=topo.maintainers,
+            n_indexers=0,
+            batch_size=work.lid_batch,
+            config=point.flstore_config(),
+            placer=place,
+        )
+        template = _template_record(work.record_size)
+
+        def factory(client_name: str, batch_index: int, n: int) -> AppendRequest:
+            return AppendRequest(
+                request_id=batch_index, records=[template] * n, want_results=False
+            )
+
+        offered = work.target_rate
+        clients = []
+        for i in range(topo.clients):
+            client = LoadClient(
+                f"loadgen/{i}",
+                targets=[m.name for m in store.maintainers],
+                batch_factory=factory,
+                target_rate=offered / topo.clients,
+                batch_size=work.client_batch,
+                max_outstanding=work.max_outstanding,
+            )
+            runtime.place_on_new_machine(
+                client, profile=PROFILES["load-generator"]
+            )
+            clients.append(client)
+
+        runtime.run(until_time=work.expand_at)
+        expand_maintainers(store, topo.expand_maintainers, placer=place)
+        names = [m.name for m in store.maintainers]
+        for client in clients:
+            client.set_targets(names)  # session refresh after the expansion
+        runtime.run(until_time=work.duration)
+
+        def stage_rate(start: float, end: float) -> float:
+            return sum(
+                runtime.metrics.rate(m.name, "in_records", start, end)
+                for m in store.maintainers
+                if runtime.metrics.total(m.name, "in_records") > 0
+            )
+
+        before = stage_rate(work.warmup, work.expand_at)
+        after = stage_rate(work.expand_at + work.warmup, work.duration)
+        return {
+            "maintainers_before": topo.maintainers,
+            "maintainers_after": topo.maintainers + topo.expand_maintainers,
+            "offered": round(offered),
+            "before": round(before),
+            "after": round(after),
+            "step_ratio": round(after / before, 3) if before else 0.0,
+        }
+
 
 class PipelineExecutor(Executor):
-    """Tables 2–5 and Figure 9: the single-datacenter Chariots pipeline."""
+    """Tables 2–5 and Figure 9: the single-datacenter Chariots pipeline.
+
+    On the ``multiproc`` runtime the point instead measures the zero-copy
+    RecordBatch wire path across worker OS processes
+    (:func:`repro.bench.multiproc.run_pipeline_multiproc`) — the record
+    count is deterministic, the rates land in the ``perf`` document.
+    """
 
     kind = "pipeline"
     primary_metric = ""
@@ -191,6 +281,8 @@ class PipelineExecutor(Executor):
         point: ScenarioSpec,
         plan: Optional[FaultPlan],
     ) -> Dict[str, Any]:
+        if point.runtime == "multiproc":
+            return self._run_multiproc(point, plan)
         topo, work = point.topology, point.workload
         result = run_pipeline_sim(
             clients=topo.clients,
@@ -244,6 +336,39 @@ class PipelineExecutor(Executor):
                 "records_stored": result.records_stored,
             }
         return metrics
+
+    @staticmethod
+    def _run_multiproc(
+        point: ScenarioSpec, plan: Optional[FaultPlan]
+    ) -> Dict[str, Any]:
+        from ..bench.multiproc import run_pipeline_multiproc
+
+        if plan is not None:
+            raise ConfigurationError(
+                "fault plans apply to simulated networks, not the multiproc "
+                "runtime"
+            )
+        topo, work = point.topology, point.workload
+        if work.total_records is None:
+            raise ConfigurationError(
+                "multiproc scenarios need workload.total_records"
+            )
+        result = run_pipeline_multiproc(
+            workers=topo.workers,
+            total_records=work.total_records,
+            batch_size=work.lid_batch,
+            record_size=work.record_size,
+        )
+        return {
+            "workers": result.workers,
+            "records_stored": result.records_stored,
+            "_perf": {
+                "bytes_routed": result.bytes_routed,
+                "records_per_host_sec": round(result.records_per_host_sec),
+                "records_stored": result.records_stored,
+                "wall_clock_seconds": round(result.wall_clock, 3),
+            },
+        }
 
     @staticmethod
     def _drain_summary(

@@ -42,8 +42,10 @@ KINDS: Tuple[str, ...] = ("flstore", "pipeline", "corfu", "geo", "functional", "
 #: Runtimes a scenario may request.  ``sim`` is the deterministic
 #: capacity-model substrate every paper figure uses; ``local`` runs the
 #: functional deployment on the deterministic LocalRuntime; ``aio`` runs it
-#: over real TCP sockets (wall-clock, excluded from the deterministic set).
-RUNTIMES: Tuple[str, ...] = ("sim", "local", "aio")
+#: over real TCP sockets; ``multiproc`` runs the zero-copy RecordBatch wire
+#: path across worker OS processes (both wall-clock, excluded from the
+#: deterministic set).
+RUNTIMES: Tuple[str, ...] = ("sim", "local", "aio", "multiproc")
 
 #: Tags the catalog uses.  Free-form tags are allowed; these are the
 #: well-known ones tests and the CLI filter on.
@@ -163,12 +165,21 @@ class TopologySpec:
     grant_batch: int = 16
     #: One-way WAN RTT override for multi-datacenter scenarios (seconds).
     wan_rtt: Optional[float] = None
+    #: Multiproc runtime: worker-process count (0 = inline, no processes).
+    workers: int = 0
+    #: FLStore elasticity: maintainers added live at ``workload.expand_at``
+    #: via the §6.3 future-reassignment protocol (0 = no expansion).
+    expand_maintainers: int = 0
 
     def __post_init__(self) -> None:
         for stage in ("clients", "batchers", "filters", "queues",
                       "maintainers", "senders", "receivers", "units"):
             if getattr(self, stage) < 1:
                 raise ConfigurationError(f"topology.{stage} must be >= 1")
+        if self.workers < 0:
+            raise ConfigurationError("topology.workers must be >= 0")
+        if self.expand_maintainers < 0:
+            raise ConfigurationError("topology.expand_maintainers must be >= 0")
         if not self.datacenters:
             raise ConfigurationError("topology.datacenters must be non-empty")
         resolve_profile(self.profile)
@@ -215,6 +226,8 @@ class WorkloadSpec:
     #: Functional kinds: records appended per datacenter, settle budget.
     append_records: int = 24
     settle_seconds: float = 30.0
+    #: Elasticity: sim time at which ``topology.expand_maintainers`` join.
+    expand_at: float = 0.0
     #: Micro kind: measurement batch size and interleaved repeats.
     micro_batch: int = 500
     micro_repeats: int = 2
@@ -226,6 +239,8 @@ class WorkloadSpec:
             raise ConfigurationError("workload duration/warmup out of range")
         if self.warmup >= self.duration:
             raise ConfigurationError("workload.warmup must be < duration")
+        if self.expand_at < 0:
+            raise ConfigurationError("workload.expand_at must be >= 0")
 
     def to_dict(self) -> Dict[str, Any]:
         data = dataclasses.asdict(self)
@@ -422,9 +437,13 @@ class ScenarioSpec:
             raise ConfigurationError(f"unknown scenario kind {self.kind!r}")
         if self.runtime not in RUNTIMES:
             raise ConfigurationError(f"unknown runtime {self.runtime!r}")
-        if self.kind in ("flstore", "pipeline", "corfu", "micro") and self.runtime != "sim":
+        if self.kind in ("flstore", "corfu", "micro") and self.runtime != "sim":
             raise ConfigurationError(
                 f"kind {self.kind!r} only runs on the sim runtime"
+            )
+        if self.kind == "pipeline" and self.runtime not in ("sim", "multiproc"):
+            raise ConfigurationError(
+                "pipeline scenarios run on the sim or multiproc runtime"
             )
         # Constructing the configs validates the override dicts eagerly.
         self.pipeline_config()

@@ -1,0 +1,258 @@
+"""MultiprocRuntime: cross-runtime equivalence and routing mechanics.
+
+The multiproc runtime trades determinism for parallelism, so its anchor is
+*outcome* equivalence: a fixed workload driven through a full Chariots
+deployment on real OS processes must converge to exactly the record sets,
+per-host total orders, and causal structure the deterministic sim runtime
+produces.  The unit tests cover the envelope/routing layer, the default
+placement policy, the inline (``workers=0``) baseline mode, and the
+pre-encoded zero-copy send path.
+"""
+
+import pytest
+
+from repro.chariots import ChariotsDeployment
+from repro.core import causal_order_respected
+from repro.core.errors import ConfigurationError, SessionError
+from repro.core.record import Record, RecordId
+from repro.flstore.maintainer import LogMaintainer
+from repro.flstore.range_map import OwnershipPlan
+from repro.net.binary_codec import encode_value_binary
+from repro.runtime.messages import RecordBatch
+from repro.runtime.multiproc import (
+    MultiprocRuntime,
+    default_placement,
+)
+from repro.sim import SimRuntime
+
+DCS = ["A", "B"]
+
+#: Fixed workload: (datacenter, payload) appends — identical on every run.
+WORKLOAD = [(DCS[i % 2], f"p{i}") for i in range(30)]
+
+
+def _extract(deployment):
+    """Comparable outcome: record-id sets, per-host orders, causal checks."""
+    sets = deployment.record_sets()
+    orders = {}
+    for dc in DCS:
+        entries = deployment[dc].all_entries()
+        assert causal_order_respected([e.record for e in entries])
+        for host in DCS:
+            orders[(dc, host)] = [
+                e.record.toid for e in entries if e.record.host == host
+            ]
+    return sets, orders
+
+
+def run_workload_on_sim():
+    runtime = SimRuntime()
+    deployment = ChariotsDeployment(runtime, DCS, batch_size=8)
+    clients = {dc: deployment.blocking_client(dc) for dc in DCS}
+    for dc, payload in WORKLOAD:
+        clients[dc].append(payload)
+    assert deployment.settle(max_seconds=120)
+    return _extract(deployment)
+
+
+def run_workload_on_multiproc(workers):
+    runtime = MultiprocRuntime(workers=workers)
+    try:
+        deployment = ChariotsDeployment(runtime, DCS, batch_size=8)
+        runtime.start()
+        clients = {dc: deployment.client(dc) for dc in DCS}
+        acks = []
+        for dc, payload in WORKLOAD:
+            clients[dc].append(payload, on_done=acks.append)
+        runtime.run_until(lambda: len(acks) == len(WORKLOAD), timeout=60)
+        assert runtime.settle(
+            lambda: deployment.converged() and deployment._pipelines_drained(),
+            max_seconds=60,
+        )
+        return _extract(deployment)
+    finally:
+        runtime.stop()
+
+
+class TestEquivalence:
+    def test_multiproc_matches_sim_on_fixed_workload(self):
+        """The tentpole anchor: multiproc ≡ sim — same record sets in every
+        datacenter and identical per-host total orders."""
+        sim_sets, sim_orders = run_workload_on_sim()
+        mp_sets, mp_orders = run_workload_on_multiproc(workers=2)
+        assert mp_sets == sim_sets
+        assert mp_orders == sim_orders
+
+    def test_inline_mode_matches_sim(self):
+        """workers=0 pays the codec round trip but stays in one process."""
+        sim_sets, _ = run_workload_on_sim()
+        mp_sets, _ = run_workload_on_multiproc(workers=0)
+        assert mp_sets == sim_sets
+
+
+class TestPlacement:
+    def test_data_plane_spreads_and_control_plane_stays_home(self):
+        assert default_placement("A/store/0", 4) is not None
+        assert default_placement("A/batcher/1", 4) is not None
+        assert default_placement("B/queue/0", 4) is not None
+        assert default_placement("A/client/1", 4) is None
+        assert default_placement("A/controller", 4) is None
+        assert default_placement("A/gc", 4) is None
+        assert default_placement("supervisor", 4) is None
+
+    def test_placement_is_stable_and_in_range(self):
+        for name in ("A/store/0", "A/store/1", "B/filter/0"):
+            first = default_placement(name, 3)
+            assert first == default_placement(name, 3)
+            assert first in (0, 1, 2)
+
+    def test_zero_workers_places_everything_in_parent(self):
+        assert default_placement("A/store/0", 0) is None
+
+
+def _maintainer_runtime(workers):
+    names = ["store/0", "store/1"]
+    plan = OwnershipPlan(names, batch_size=100)
+    runtime = MultiprocRuntime(
+        workers=workers,
+        placement=lambda name, w: (
+            int(name[-1]) % w if w and name.startswith("store") else None
+        ),
+    )
+    for name in names:
+        runtime.register(LogMaintainer(name, plan, peers=names))
+    return runtime
+
+
+def _batch_payload(n=20):
+    records = [
+        Record(rid=RecordId("A", i + 1), body=b"x" * 32) for i in range(n)
+    ]
+    return encode_value_binary(RecordBatch(records)), n
+
+
+class TestRouting:
+    def test_send_encoded_reaches_worker_maintainers(self):
+        runtime = _maintainer_runtime(workers=2)
+        try:
+            runtime.start()
+            payload, n = _batch_payload()
+            for _ in range(5):
+                runtime.send_encoded("driver", "store/0", payload)
+                runtime.send_encoded("driver", "store/1", payload)
+            runtime.run_until(
+                lambda: _stored_total(runtime) == 10 * n, timeout=30
+            )
+            assert runtime.messages_routed >= 10
+            assert runtime.bytes_routed > 0
+        finally:
+            runtime.stop()
+
+    def test_send_encoded_inline_decodes_lazily(self):
+        runtime = _maintainer_runtime(workers=0)
+        runtime.start()
+        payload, n = _batch_payload()
+        runtime.send_encoded("driver", "store/0", payload)
+        runtime.run_for(0.05)
+        assert runtime.actor("store/0").core.stored_count() == n
+
+    def test_refresh_updates_existing_references(self):
+        runtime = _maintainer_runtime(workers=2)
+        try:
+            shadow = runtime.actor("store/0")
+            runtime.start()
+            payload, n = _batch_payload()
+            runtime.send_encoded("driver", "store/0", payload)
+            runtime.run_until(
+                lambda: runtime.fetch_actor("store/0").core.stored_count() == n,
+                timeout=30,
+            )
+            assert shadow.core.stored_count() == 0  # stale until refreshed
+            runtime.refresh_actors(["store/0"])
+            assert shadow.core.stored_count() == n  # same object, new state
+            assert runtime.actor("store/0") is shadow
+        finally:
+            runtime.stop()
+
+    def test_unknown_destination_raises(self):
+        runtime = MultiprocRuntime(workers=0)
+        runtime.start()
+        with pytest.raises(ConfigurationError, match="unknown actor"):
+            runtime.send("src", "nobody", RecordBatch([]))
+
+    def test_send_prepared_resends_one_frame_to_workers(self):
+        runtime = _maintainer_runtime(workers=2)
+        try:
+            runtime.start()
+            payload, n = _batch_payload()
+            frame = runtime.prepare_encoded("driver", "store/1", payload)
+            for _ in range(4):
+                runtime.send_prepared(frame)
+            runtime.run_until(
+                lambda: runtime.peek("store/1", _stored_count) == 4 * n,
+                timeout=30,
+            )
+            # Peer gossip between the maintainers also crosses the parent,
+            # so the total is a floor, not an exact multiple.
+            assert runtime.bytes_routed >= 4 * len(frame)
+        finally:
+            runtime.stop()
+
+    def test_send_prepared_inline_decodes_locally(self):
+        runtime = _maintainer_runtime(workers=0)
+        runtime.start()
+        payload, n = _batch_payload()
+        frame = runtime.prepare_encoded("driver", "store/0", payload)
+        runtime.send_prepared(frame)
+        runtime.run_for(0.05)
+        assert runtime.actor("store/0").core.stored_count() == n
+        assert runtime.bytes_routed == 0  # nothing crossed a socket
+
+    def test_prepare_encoded_unknown_actor_raises(self):
+        runtime = _maintainer_runtime(workers=0)
+        runtime.start()
+        payload, _ = _batch_payload()
+        with pytest.raises(ConfigurationError, match="unknown actor"):
+            runtime.prepare_encoded("driver", "nobody", payload)
+
+    def test_peek_runs_module_level_fn_in_worker(self):
+        runtime = _maintainer_runtime(workers=2)
+        try:
+            runtime.start()
+            assert runtime.peek("store/0", _stored_count) == 0
+            payload, n = _batch_payload()
+            runtime.send_encoded("driver", "store/0", payload)
+            runtime.run_until(
+                lambda: runtime.peek("store/0", _stored_count) == n, timeout=30
+            )
+        finally:
+            runtime.stop()
+
+    def test_worker_side_errors_surface_in_parent(self):
+        runtime = _maintainer_runtime(workers=2)
+        try:
+            runtime.start()
+            with pytest.raises(SessionError, match="worker"):
+                runtime.peek("store/0", _raise_in_worker)
+        finally:
+            runtime.stop()
+
+    def test_duplicate_registration_rejected(self):
+        runtime = _maintainer_runtime(workers=0)
+        plan = OwnershipPlan(["store/0"], batch_size=10)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            runtime.register(LogMaintainer("store/0", plan, peers=[]))
+
+
+def _stored_count(actor):
+    return actor.core.stored_count()
+
+
+def _raise_in_worker(actor):
+    raise ValueError("boom")
+
+
+def _stored_total(runtime):
+    return sum(
+        runtime.peek(name, _stored_count) for name in ("store/0", "store/1")
+    )

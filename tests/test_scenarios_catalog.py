@@ -47,11 +47,14 @@ def test_catalog_names_are_unique():
 
 
 def test_every_figure_and_table_bench_script_has_a_catalog_entry():
-    """Each bench_fig*/bench_table* script is subsumed by an entry whose
-    ``source`` field names it — deleting the entry breaks this test."""
-    scripts = sorted(
-        p.name for p in BENCH_DIR.glob("bench_fig*.py")
-    ) + sorted(p.name for p in BENCH_DIR.glob("bench_table*.py"))
+    """Each bench_fig*/bench_table*/bench_ablation* script is subsumed by an
+    entry whose ``source`` field names it — deleting the entry breaks this
+    test."""
+    scripts = (
+        sorted(p.name for p in BENCH_DIR.glob("bench_fig*.py"))
+        + sorted(p.name for p in BENCH_DIR.glob("bench_table*.py"))
+        + sorted(p.name for p in BENCH_DIR.glob("bench_ablation*.py"))
+    )
     assert scripts, "bench scripts vanished?"
     covered = {Path(spec.source).name for spec in CATALOG if spec.source}
     missing = [script for script in scripts if script not in covered]
@@ -92,7 +95,14 @@ def test_required_tags_present():
 def test_deterministic_selection_excludes_aio():
     names = {spec.name for spec in select(deterministic=True)}
     assert "functional-convergence-aio" not in names
+    assert "pipeline-multiproc" not in names
     assert "functional-convergence-local" in names
+
+
+def test_runtime_selection():
+    multiproc = select(runtime="multiproc")
+    assert [spec.name for spec in multiproc] == ["pipeline-multiproc"]
+    assert all(spec.runtime == "sim" for spec in select(runtime="sim"))
 
 
 def test_get_unknown_scenario_raises():

@@ -31,6 +31,30 @@ def _quick_spec(**overrides):
     return ScenarioSpec(**defaults)
 
 
+def test_multiproc_pipeline_point_runs_inline_with_zero_workers(tmp_path):
+    """The multiproc executor path, sans process spawn: workers=0 routes the
+    pre-encoded batch frames through the in-process fast path, so the wiring
+    (spec -> executor -> perf document) is covered at tier-1 speed."""
+    spec = ScenarioSpec(
+        name="quick-multiproc",
+        title="quick multiproc",
+        kind="pipeline",
+        runtime="multiproc",
+        topology=TopologySpec(workers=0),
+        workload=WorkloadSpec(total_records=5_000, lid_batch=500),
+        invariants=(
+            Invariant(metric="points.0.records_stored", op="eq", value=5_000),
+            Invariant(metric="points.0.workers", op="eq", value=0),
+        ),
+    )
+    result = ScenarioRunner(run_root=tmp_path).run(spec)
+    assert result.status == "passed", result.error
+    perf = json.loads((result.artifacts_dir / "perf.json").read_text())
+    assert perf["base"]["records_stored"] == 5_000
+    assert perf["base"]["records_per_host_sec"] > 0
+    assert perf["base"]["bytes_routed"] == 0  # inline: nothing crossed a socket
+
+
 def test_lifecycle_phases_and_artifacts(tmp_path):
     result = ScenarioRunner(run_root=tmp_path).run(_quick_spec())
     assert [(p.name, p.status) for p in result.phases] == [

@@ -68,6 +68,22 @@ def test_sim_only_kind_rejects_other_runtimes():
         ScenarioSpec(name="bad", title="t", kind="flstore", runtime="local")
 
 
+def test_pipeline_kind_allows_sim_and_multiproc_only():
+    spec = ScenarioSpec(name="mp", title="t", kind="pipeline",
+                        runtime="multiproc",
+                        topology=TopologySpec(workers=2))
+    assert not spec.deterministic
+    with pytest.raises(ConfigurationError, match="sim or multiproc"):
+        ScenarioSpec(name="bad", title="t", kind="pipeline", runtime="local")
+
+
+def test_topology_rejects_negative_workers_and_expansion():
+    with pytest.raises(ConfigurationError, match="workers"):
+        TopologySpec(workers=-1)
+    with pytest.raises(ConfigurationError, match="expand_maintainers"):
+        TopologySpec(expand_maintainers=-1)
+
+
 def test_bad_pipeline_override_fails_eagerly():
     with pytest.raises(TypeError):
         ScenarioSpec(name="bad", title="t", pipeline={"no_such_field": 1})

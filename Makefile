@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test chaos scenarios bench-smoke bench-reports lint analysis ruff mypy baseline graph
+.PHONY: check test chaos chaos-multiproc scenarios bench-smoke bench-reports lint analysis ruff mypy baseline graph
 
 ## Tier-1 gate: the full test suite plus a seconds-scale bench smoke.
 check: test bench-smoke
@@ -46,6 +46,14 @@ test:
 ## tier-1 skips (the command-line -m overrides the addopts marker filter).
 chaos:
 	$(PYTHON) -m pytest tests/test_chaos.py tests/test_resilience.py -q -m "slow or not slow"
+
+## Real-process fault tolerance: SIGKILL one stage worker and one
+## maintainer worker mid-run and require fault-free output (docs/FAULTS.md).
+## `timeout` hard-caps the wall clock — a wedged worker must fail the run,
+## not hang it.
+chaos-multiproc:
+	timeout 300 $(PYTHON) -m repro.scenarios run multiproc-crash-recovery --no-persist
+	timeout 600 $(PYTHON) -m pytest tests/test_multiproc_chaos.py -q -m "slow or not slow"
 
 ## Run the full deterministic scenario catalog (paper figures, soaks,
 ## chaos, overload), persist artifacts under runs/, and diff the perf

@@ -21,6 +21,7 @@ from .dispatch import RequestDispatchRule
 from .exceptions import SwallowedExceptionRule
 from .protocol import ProtocolDispatchRule, ProtocolRegistrationRule
 from .slots import SlotsRule
+from .sockets import BlockingSocketRule
 from .typed_api import TypedApiRule
 
 #: Every shipped rule, in code order.
@@ -38,6 +39,7 @@ ALL_RULES: List[Type[Rule]] = [
     RequestDispatchRule,  # CHR011
     OrphanMessageRule,  # CHR012
     SwallowedExceptionRule,  # CHR013
+    BlockingSocketRule,  # CHR014
 ]
 
 
@@ -57,6 +59,7 @@ __all__ = [
     "rules_by_code",
     "AwaitAtomicityRule",
     "BlockingAsyncRule",
+    "BlockingSocketRule",
     "IterationOrderRule",
     "OrphanMessageRule",
     "ProtocolDispatchRule",

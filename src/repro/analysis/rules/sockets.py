@@ -1,0 +1,105 @@
+"""CHR014 — blocking socket reads in runtime/ and net/ must carry a timeout.
+
+The multi-process runtime and the network layer both sit on real kernel
+sockets.  A bare ``sock.recv()`` / ``listener.accept()`` with no deadline
+hangs forever when the peer is SIGKILLed mid-frame — exactly the situation
+the process-chaos suites create on purpose.  Every blocking receive or
+accept must therefore run under a deadline: either the enclosing function
+sets one (``settimeout``) or the owning class switches the socket to
+non-blocking mode at construction (``setblocking(False)`` + selector).
+
+The rule flags attribute calls named ``recv``/``recv_into``/``recvfrom``/
+``accept`` in ``runtime/`` and ``net/`` unless the innermost enclosing
+function *or* the innermost enclosing class contains a ``settimeout`` or
+``setblocking`` call.  Deliberately indefinite waits are annotated with
+``# chariots: noqa=CHR014`` naming the invariant that makes them safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple
+
+from ..findings import Finding
+from ..project import ModuleInfo
+from .base import ModuleRule
+
+#: Packages whose socket calls are checked.
+SOCKET_SCOPED_PACKAGES: Tuple[str, ...] = ("runtime", "net")
+
+#: Attribute calls that block until the peer sends (or connects).
+_BLOCKING_READS = frozenset({"recv", "recv_into", "recvfrom", "accept"})
+
+#: Attribute calls that bound (or remove) the wait.
+_DEADLINE_CALLS = frozenset({"settimeout", "setblocking"})
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _contains_deadline(scope: ast.AST) -> bool:
+    for call in ast.walk(scope):
+        if (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr in _DEADLINE_CALLS
+        ):
+            return True
+    return False
+
+
+class BlockingSocketRule(ModuleRule):
+    """CHR014: socket recv/accept in runtime/ and net/ need a deadline."""
+
+    code = "CHR014"
+    name = "socket-no-timeout"
+    description = (
+        "socket recv/recv_into/recvfrom/accept calls in runtime/ and net/ "
+        "must run under a deadline (settimeout in the enclosing function, "
+        "or setblocking on the owning class): an indefinite wait on a "
+        "SIGKILLed peer wedges the whole runtime."
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_package(SOCKET_SCOPED_PACKAGES):
+            return
+        parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(module.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        deadline_cache: Dict[ast.AST, bool] = {}
+        for call in ast.walk(module.tree):
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr in _BLOCKING_READS
+            ):
+                continue
+            scopes: List[ast.AST] = []
+            cursor: ast.AST = call
+            func_seen = False
+            while cursor in parents:
+                cursor = parents[cursor]
+                if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if not func_seen:  # only the innermost function counts
+                        scopes.append(cursor)
+                        func_seen = True
+                elif isinstance(cursor, ast.ClassDef):
+                    scopes.append(cursor)
+                    break  # methods of nested classes stop at their class
+            guarded = False
+            for scope in scopes:
+                if scope not in deadline_cache:
+                    deadline_cache[scope] = _contains_deadline(scope)
+                if deadline_cache[scope]:
+                    guarded = True
+                    break
+            if guarded:
+                continue
+            yield self.finding(
+                module,
+                call.lineno,
+                call.col_offset,
+                f"blocking socket call .{call.func.attr}() without a "
+                "deadline; call settimeout() in this function or "
+                "setblocking(False) on the owning class",
+            )

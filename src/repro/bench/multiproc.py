@@ -22,16 +22,21 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import tempfile
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..chaos.plan import FaultPlan
+from ..chaos.procchaos import ProcChaos
+from ..core.causality import causal_order_respected
 from ..core.record import Record, RecordId
 from ..flstore.maintainer import LogMaintainer
 from ..flstore.range_map import OwnershipPlan
 from ..net.binary_codec import encode_value_binary
 from ..runtime.messages import RecordBatch
 from ..runtime.multiproc import MultiprocRuntime
+from ..runtime.supervisor import ProcessSupervisor
 from .micro import write_json_report
 
 DEFAULT_TOTAL = 200_000
@@ -210,6 +215,143 @@ def run_multiproc_suite(
                 int(peak["records_per_host_sec"]) / int(pipeline_rate), 2
             )
     return report
+
+
+def pipeline_placement(
+    datacenters: Sequence[str], workers: int
+) -> Callable[[str, int], Optional[int]]:
+    """Deterministic per-datacenter placement for chaos runs.
+
+    Datacenter ``i``'s pipeline *stages* (batchers, filters, queues,
+    senders, receivers) land on worker ``2i`` and its *maintainers +
+    indexers* on worker ``2i + 1`` (mod ``workers``), so a single
+    ``FaultPlan.kill()`` can target exactly "one stage worker" or "one
+    maintainer worker" of a datacenter by actor name.  Control-plane actors
+    stay in the parent.
+    """
+    order = {dc: i for i, dc in enumerate(sorted(datacenters))}
+    stage_markers = ("batcher", "filter", "queue", "sender", "receiver")
+    store_markers = ("store", "maintainer", "indexer")
+
+    def placement(name: str, w: int) -> Optional[int]:
+        if w <= 0:
+            return None
+        dc = name.split("/", 1)[0]
+        if dc not in order:
+            return None
+        lowered = name.lower()
+        if any(marker in lowered for marker in store_markers):
+            return (2 * order[dc] + 1) % w
+        if any(marker in lowered for marker in stage_markers):
+            return (2 * order[dc]) % w
+        return None
+
+    return placement
+
+
+def run_deployment_multiproc_chaos(
+    datacenters: Sequence[str] = ("A", "B"),
+    workers: int = 4,
+    appends: int = 24,
+    batch_size: int = 8,
+    plan: Optional[FaultPlan] = None,
+    journal_dir: Optional[str] = None,
+    timeout: float = 120.0,
+) -> Dict[str, Any]:
+    """One full Chariots deployment on real processes, under process chaos.
+
+    Runs ``appends`` client appends (round-robin over ``datacenters``)
+    through a supervised :class:`MultiprocRuntime` while ``plan``'s
+    ``kill()`` events SIGKILL workers mid-run, waits for every recovery to
+    complete and the log to converge, and returns the outcome + recovery
+    metrics.  Shared by the ``multiproc-crash-recovery`` scenario entry,
+    the ``-m slow`` acceptance test, and the CI chaos smoke job.
+    """
+    chaos = ProcChaos.from_plan(plan) if plan is not None else None
+    kills_expected = len(plan.kills) if plan is not None else 0
+    dcs = list(datacenters)
+    owned_dir: Optional[tempfile.TemporaryDirectory] = None
+    if journal_dir is None:
+        owned_dir = tempfile.TemporaryDirectory(prefix="repro-mp-journals-")
+        journal_dir = owned_dir.name
+    runtime = MultiprocRuntime(
+        workers=workers,
+        placement=pipeline_placement(dcs, workers),
+        chaos=chaos,
+    )
+    try:
+        # Imported lazily: chariots/ imports bench nothing, but keeping the
+        # bench module importable without the full deployment stack matters
+        # for the micro harness.
+        from ..chariots import ChariotsDeployment
+
+        deployment = ChariotsDeployment(runtime, dcs, batch_size=batch_size)
+        supervisor = ProcessSupervisor()
+        deployment.supervise(supervisor, journal_dir=journal_dir)
+        runtime.start()
+        clients = {dc: deployment.client(dc) for dc in dcs}
+        acks: List[Any] = []
+        started = perf_counter()
+        for i in range(appends):
+            clients[dcs[i % len(dcs)]].append(f"p{i}", on_done=acks.append)
+        runtime.run_until(lambda: len(acks) == appends, timeout=timeout)
+        if chaos is not None and kills_expected:
+            runtime.run_until(
+                lambda: chaos.stats["workers_killed"] >= kills_expected,
+                timeout=timeout,
+            )
+            runtime.run_until(
+                lambda: len(supervisor.recoveries) >= kills_expected,
+                timeout=timeout,
+            )
+        converged = runtime.settle(
+            lambda: deployment.converged() and deployment._pipelines_drained(),
+            max_seconds=timeout,
+        )
+        wall = perf_counter() - started
+        records: Dict[str, int] = {}
+        gap_free = True
+        duplicate_free = True
+        causal_ok = True
+        for dc in dcs:
+            entries = deployment[dc].all_entries()
+            records[dc] = len(entries)
+            lids = [entry.lid for entry in entries]
+            duplicate_free = duplicate_free and len(lids) == len(set(lids))
+            gap_free = gap_free and (
+                not lids or lids == list(range(lids[0], lids[0] + len(lids)))
+            )
+            causal_ok = causal_ok and causal_order_respected(
+                [entry.record for entry in entries]
+            )
+        recovery_seconds = [r["seconds"] for r in supervisor.recoveries]
+        return {
+            "acked": len(acks),
+            "appends": appends,
+            "converged": converged,
+            "causal_order_ok": causal_ok,
+            "gap_free": gap_free,
+            "duplicate_free": duplicate_free,
+            "records_per_dc": records,
+            "workers_killed": int(chaos.stats["workers_killed"]) if chaos else 0,
+            "frames_dropped": int(chaos.stats["frames_dropped"]) if chaos else 0,
+            "recoveries": len(supervisor.recoveries),
+            "frames_replayed": sum(r["replayed"] for r in supervisor.recoveries),
+            "recovery_seconds_max": round(max(recovery_seconds), 3)
+            if recovery_seconds
+            else 0.0,
+            "recovery_seconds_mean": round(
+                sum(recovery_seconds) / len(recovery_seconds), 3
+            )
+            if recovery_seconds
+            else 0.0,
+            "loss_accounting": dict(runtime.loss_accounting),
+            "wall_clock_seconds": round(wall, 3),
+        }
+    finally:
+        runtime.stop()
+        if owned_dir is not None:
+            owned_dir.cleanup()
 
 
 def pipeline_baseline(path: str) -> Optional[Dict[str, Any]]:

@@ -7,16 +7,21 @@ into the runtimes behind zero-overhead no-op defaults:
 
 * :class:`FaultPlan` — seeded message faults, crashes, and partitions for
   ``LocalRuntime`` / ``SimRuntime`` / ``AioRuntime`` sends;
-* :class:`NetChaos` — seeded request-level faults for the asyncio servers.
+* :class:`NetChaos` — seeded request-level faults for the asyncio servers;
+* :class:`ProcChaos` — process-level faults for ``MultiprocRuntime``:
+  scheduled worker SIGKILLs plus seeded drop/delay of raw routed frames.
 """
 
 from .netchaos import NetChaos
-from .plan import CrashEvent, FaultPlan, FaultRule, PartitionEvent
+from .plan import CrashEvent, FaultPlan, FaultRule, KillEvent, PartitionEvent
+from .procchaos import ProcChaos
 
 __all__ = [
     "CrashEvent",
     "FaultPlan",
     "FaultRule",
+    "KillEvent",
     "NetChaos",
     "PartitionEvent",
+    "ProcChaos",
 ]

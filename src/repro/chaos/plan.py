@@ -24,7 +24,7 @@ import math
 import random
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from ..core.errors import ConfigurationError
 
@@ -116,6 +116,24 @@ class CrashEvent:
         return {"actor": self.actor, "at": self.at}
 
 
+@dataclass(frozen=True)
+class KillEvent:
+    """SIGKILL a *worker process* of the multiproc runtime at time ``at``.
+
+    ``worker`` is either a worker index or an actor name (resolved to the
+    worker hosting that actor at placement time).  Unlike :class:`CrashEvent`
+    this is a real OS-level kill: every actor co-located on the worker dies
+    with it, and recovery requires a
+    :class:`~repro.runtime.supervisor.ProcessSupervisor`.
+    """
+
+    worker: Union[int, str]
+    at: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"worker": self.worker, "at": self.at}
+
+
 @dataclass
 class PartitionEvent:
     """Sever all traffic between two name-prefix groups during a window.
@@ -164,6 +182,7 @@ class FaultPlan:
         self._rng = random.Random(seed)
         self.rules: List[FaultRule] = []
         self.crashes: List[CrashEvent] = []
+        self.kills: List[KillEvent] = []
         self.partitions: List[PartitionEvent] = []
         #: Injection counters: dropped / delayed / duplicated / reordered /
         #: partitioned — chaos tests assert the plan actually fired.
@@ -193,6 +212,11 @@ class FaultPlan:
 
     def crash(self, actor: str, at: float) -> "FaultPlan":
         self.crashes.append(CrashEvent(actor, at))
+        return self
+
+    def kill(self, worker: Union[int, str], at: float) -> "FaultPlan":
+        """SIGKILL a multiproc worker (by index or hosted-actor name)."""
+        self.kills.append(KillEvent(worker, at))
         return self
 
     def partition(self, a: str, b: str, start: float = 0.0, end: float = _INF) -> "FaultPlan":
@@ -244,6 +268,7 @@ class FaultPlan:
             "seed": self.seed,
             "rules": [rule.to_dict() for rule in self.rules],
             "crashes": [crash.to_dict() for crash in self.crashes],
+            "kills": [kill.to_dict() for kill in self.kills],
             "partitions": [part.to_dict() for part in self.partitions],
         }
 
@@ -254,6 +279,8 @@ class FaultPlan:
             plan._rule(rule["kind"], **{k: v for k, v in rule.items() if k != "kind"})
         for crash in data.get("crashes", []):
             plan.crash(crash["actor"], crash["at"])
+        for kill in data.get("kills", []):
+            plan.kill(kill["worker"], kill["at"])
         for part in data.get("partitions", []):
             plan.partition(
                 part["a"], part["b"],
@@ -264,5 +291,6 @@ class FaultPlan:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<FaultPlan seed={self.seed} rules={len(self.rules)} "
-            f"crashes={len(self.crashes)} partitions={len(self.partitions)}>"
+            f"crashes={len(self.crashes)} kills={len(self.kills)} "
+            f"partitions={len(self.partitions)}>"
         )

@@ -12,7 +12,8 @@ the Awareness Table).  Inter-datacenter wiring happens afterwards via
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..core.config import DeploymentSpec, FLStoreConfig, PipelineConfig
 from ..core.errors import ConfigurationError
@@ -181,7 +182,7 @@ class DatacenterPipeline:
         self.batcher_names = batcher_names
         self.receiver_names = receiver_names
         self._client_count = 0
-        self.journals: Optional[Dict[str, MemoryJournal]] = None
+        self.journals: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -217,20 +218,33 @@ class DatacenterPipeline:
     # Resilience: journaling + supervised crash recovery
     # ------------------------------------------------------------------ #
 
-    def attach_journals(self) -> Dict[str, "MemoryJournal"]:
-        """Give every maintainer an in-memory journal (idempotent).
+    def attach_journals(
+        self, directory: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Give every maintainer a journal (idempotent).
 
         Call before traffic flows so the journal covers every placement —
-        it is what a supervised restart replays.
+        it is what a supervised restart replays.  In-memory by default;
+        with ``directory`` each maintainer journals to a JSON-lines file
+        there instead — required for process-level recovery, where the
+        maintainer writes in a worker process and the parent replays the
+        file after a crash (a ``MemoryJournal`` would be pickle-copied
+        into the worker, leaving the parent's copy empty).
         """
         # Imported lazily: journal serialisation pulls in the wire codecs,
         # which import this package's message types back.
-        from ..flstore.journal import MemoryJournal
+        from ..flstore.journal import FileJournal, MemoryJournal
 
         if self.journals is None:
             self.journals = {}
             for maintainer in self.maintainers:
-                journal = MemoryJournal()
+                if directory is not None:
+                    path = os.path.join(
+                        directory, maintainer.name.replace("/", "_") + ".jsonl"
+                    )
+                    journal: Any = FileJournal(path)
+                else:
+                    journal = MemoryJournal()
                 maintainer.core.set_journal(journal)
                 self.journals[maintainer.name] = journal
         return self.journals
@@ -247,13 +261,17 @@ class DatacenterPipeline:
         if self.journals is None or name not in self.journals:
             raise ConfigurationError(f"no journal attached for maintainer {name!r}")
         journal = self.journals[name]
+        # Recover journal-less, then re-attach: replaying a journal into
+        # itself would re-append every entry (and on a FileJournal, feed the
+        # replay its own output).
         core = recover_maintainer_core(
             name,
             self.plan,
             journal.replay(),
             config=self.flstore_config,
-            new_journal=journal,
+            new_journal=None,
         )
+        core.set_journal(journal)
         replacement = LogMaintainer(
             name,
             self.plan,
@@ -267,9 +285,11 @@ class DatacenterPipeline:
                 self.maintainers[i] = replacement
         return replacement
 
-    def supervise(self, supervisor: Supervisor) -> None:
+    def supervise(
+        self, supervisor: Supervisor, journal_dir: Optional[str] = None
+    ) -> None:
         """Register journal-driven restart of every maintainer with ``supervisor``."""
-        self.attach_journals()
+        self.attach_journals(directory=journal_dir)
         for maintainer in self.maintainers:
             supervisor.supervise(
                 maintainer.name,
@@ -379,19 +399,23 @@ class ChariotsDeployment:
         self,
         supervisor: Optional[Supervisor] = None,
         check_interval: float = 0.05,
+        journal_dir: Optional[str] = None,
     ) -> Supervisor:
         """Attach journals everywhere and supervise every log maintainer.
 
         Creates (and registers) a :class:`~repro.runtime.supervisor.Supervisor`
         unless one is passed in.  Call before running traffic so the journals
-        are complete.
+        are complete.  ``journal_dir`` switches the maintainers to on-disk
+        :class:`~repro.flstore.journal.FileJournal` files (required for
+        multiproc worker recovery — see
+        :meth:`DatacenterPipeline.attach_journals`).
         """
         if supervisor is None:
             supervisor = Supervisor("supervisor", check_interval=check_interval)
         if supervisor.runtime is None:
             self.runtime.register(supervisor)
         for pipe in self.pipelines.values():
-            pipe.supervise(supervisor)
+            pipe.supervise(supervisor, journal_dir=journal_dir)
         return supervisor
 
     # -- convergence helpers (tests) -------------------------------------- #

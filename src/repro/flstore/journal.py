@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..core.config import FLStoreConfig
 from ..core.record import Record
@@ -56,11 +56,23 @@ class FileJournal:
     Each line is ``{"lid": ..., "record": {...}}``.  Writes are appended
     and flushed per entry; replay tolerates a torn final line (the record
     it described was never acknowledged, so dropping it is safe).
+
+    Instances are picklable (the open handle is dropped and reopened in
+    append mode on unpickle), so a maintainer journaling to disk can be
+    shipped into a multiproc worker — the worker's writes land in the same
+    file the parent later replays for crash recovery.
     """
 
     def __init__(self, path: str) -> None:
         self.path = path
         self._file = open(path, "a", encoding="utf-8")
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"path": self.path}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.path = state["path"]
+        self._file = open(self.path, "a", encoding="utf-8")
 
     def __call__(self, lid: int, record: Record) -> None:
         line = json.dumps({"lid": lid, "record": record_to_dict(record)})
@@ -105,6 +117,14 @@ def recover_maintainer_core(
     early-placed records), and the pending tag postings.  The recovered
     core resumes post-assignment exactly where the crashed one stopped —
     no LId is ever handed out twice.
+
+    ``new_journal`` receives every replayed placement too (recovery chains
+    into a fresh journal).  It must therefore be a *different* journal from
+    the one ``journal_entries`` reads: replaying a journal into itself
+    re-appends every entry — on a :class:`FileJournal` that is a feedback
+    loop (replay lazily reads the file the replay is appending to).  To
+    reuse the original journal object, recover with ``new_journal=None``
+    and attach it afterwards via ``core.set_journal``.
     """
     core = MaintainerCore(name, plan, config=config, journal=new_journal)
     for lid, record in journal_entries:

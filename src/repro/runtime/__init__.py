@@ -16,7 +16,7 @@ from .messages import (
     record_count_of,
     wire_size_of,
 )
-from .supervisor import Supervisor
+from .supervisor import ProcessSupervisor, Supervisor
 
 __all__ = [
     "Actor",
@@ -26,6 +26,7 @@ __all__ = [
     "EventLoop",
     "LocalRuntime",
     "Payload",
+    "ProcessSupervisor",
     "RecordBatch",
     "Supervisor",
     "partitioned",

@@ -10,7 +10,8 @@ control-plane actors (clients, controllers, GC, load generators).
 The wire is the packed binary codec end to end.  A routed frame carries an
 envelope the router can parse *without touching the payload*::
 
-    u32 total_len || 0xC6 || kind || u16 dst_len || dst || u16 src_len || src || payload
+    u32 total_len || 0xC6 || kind || u32 seq || u16 dst_len || dst ||
+    u16 src_len || src || payload
 
 so a worker→worker message is forwarded as raw bytes — the only processes
 that ever decode a payload are the sender and the final receiver.  Combined
@@ -30,8 +31,39 @@ Semantics versus the single-process runtimes:
   stay the test substrate; equivalence is anchored by
   ``tests/test_multiproc.py``.
 
-Fault injection (chaos plans, crash/park/revive) is intentionally not
-supported here — inject faults on the deterministic runtimes.
+Process-level fault tolerance
+-----------------------------
+
+Registering a :class:`~repro.runtime.supervisor.ProcessSupervisor` switches
+the runtime into **supervised** mode, which makes every worker individually
+recoverable after a real SIGKILL (or hang), at the cost of one frame copy
+per routed frame and a periodic state snapshot per worker:
+
+* the envelope ``seq`` field carries a parent-assigned per-worker delivery
+  sequence number (parent→worker) and a worker-assigned emission id
+  (worker→parent); unsupervised traffic leaves it zero and keeps the
+  zero-copy forwarding path byte-identical to before;
+* workers follow an **output-commit** discipline: outbound frames are held
+  until the next snapshot (actor state + held outputs + input ack) has been
+  queued to the parent, so any frame that escaped a worker is provably
+  captured by some snapshot — after a crash the parent restores the latest
+  snapshot, re-injects its held outputs through an emission-id dedup, and
+  retransmits every unacknowledged input frame from its per-worker buffer;
+* journal-backed actors (log maintainers) are excluded from snapshots and
+  rebuilt parent-side from their :class:`~repro.flstore.journal.FileJournal`
+  via the supervisor's recovery factories — their writes are durable the
+  moment they happen and replay is idempotent;
+* crash/hang detection is socket EOF + exit-code reaping + heartbeat
+  staleness; respawn is driven by the shared
+  :class:`~repro.core.retry.RetryPolicy` and a per-worker
+  :class:`~repro.core.retry.CircuitBreaker`;
+* :meth:`restart_worker` is the planned (elasticity) path: it drains the
+  worker's queues to a clean snapshot first, and when it cannot, the loss
+  is bounded and counted in :attr:`loss_accounting`.
+
+Process-level chaos (:class:`~repro.chaos.procchaos.ProcChaos`) plugs into
+the same machinery: scheduled SIGKILLs of named workers, plus seeded
+drop/delay of raw frames at the parent's forwarding layer.
 """
 
 from __future__ import annotations
@@ -46,16 +78,31 @@ import struct
 import sys
 import time
 import traceback
-from collections import deque
+from collections import Counter, deque
 from multiprocessing import get_context
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    TYPE_CHECKING,
+)
 from zlib import crc32
 
 from ..core.errors import ConfigurationError, SessionError
+from ..core.retry import CircuitBreaker
 from .actor import Actor
+from .supervisor import ProcessSupervisor
 
 # The codecs live in net/, which never imports this module back.
 from ..net.binary_codec import decode_value_binary, encode_value_binary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..chaos.procchaos import ProcChaos
 
 #: First byte of every multiproc envelope body (binary codec frames start
 #: with 0xC5, tagged JSON with ``{`` — the router speaks neither directly).
@@ -81,7 +128,12 @@ def _format_error(exc: BaseException) -> str:
 
 
 _U32 = struct.Struct(">I")
-_HDR = struct.Struct(">IBBH")  # total_len, magic, kind, dst_len
+_HDR = struct.Struct(">IBBIH")  # total_len, magic, kind, seq, dst_len
+
+#: Byte offset of the envelope ``seq`` field within a full frame (i.e. the
+#: u32 length prefix, then magic + kind).  Supervised forwarding patches a
+#: per-worker delivery sequence number in place at this offset.
+_SEQ_OFF = 6
 
 #: Hard sanity cap per routed frame (matches net/protocol.py).
 MAX_FRAME_BYTES = 64 * 1024 * 1024
@@ -112,13 +164,13 @@ def default_placement(name: str, workers: int) -> Optional[int]:
     return None
 
 
-def _envelope(kind: int, src: str, dst: str, payload: bytes) -> bytes:
+def _envelope(kind: int, src: str, dst: str, payload: bytes, seq: int = 0) -> bytes:
     dst_b = dst.encode("utf-8")
     src_b = src.encode("utf-8")
-    body_len = 2 + 2 + len(dst_b) + 2 + len(src_b) + len(payload)
+    body_len = 2 + 4 + 2 + len(dst_b) + 2 + len(src_b) + len(payload)
     if body_len > MAX_FRAME_BYTES:
         raise SessionError(f"frame of {body_len} bytes exceeds MAX_FRAME_BYTES")
-    out = bytearray(_HDR.pack(body_len, ENVELOPE_MAGIC, kind, len(dst_b)))
+    out = bytearray(_HDR.pack(body_len, ENVELOPE_MAGIC, kind, seq, len(dst_b)))
     out += dst_b
     out += len(src_b).to_bytes(2, "big")
     out += src_b
@@ -126,19 +178,21 @@ def _envelope(kind: int, src: str, dst: str, payload: bytes) -> bytes:
     return bytes(out)
 
 
-def _parse_envelope(body: memoryview) -> Tuple[int, str, str, memoryview]:
-    """(kind, src, dst, payload_view); ``body`` excludes the length prefix."""
-    if len(body) < 6 or body[0] != ENVELOPE_MAGIC:
+def _parse_envelope(body: memoryview) -> Tuple[int, int, str, str, memoryview]:
+    """(kind, seq, src, dst, payload_view); ``body`` excludes the length
+    prefix.  ``seq`` is 0 for unsequenced (unsupervised) frames."""
+    if len(body) < 10 or body[0] != ENVELOPE_MAGIC:
         raise SessionError("malformed multiproc envelope")
     kind = body[1]
-    dst_len = (body[2] << 8) | body[3]
-    pos = 4 + dst_len
-    dst = bytes(body[4:pos]).decode("utf-8")
+    seq = (body[2] << 24) | (body[3] << 16) | (body[4] << 8) | body[5]
+    dst_len = (body[6] << 8) | body[7]
+    pos = 8 + dst_len
+    dst = bytes(body[8:pos]).decode("utf-8")
     src_len = (body[pos] << 8) | body[pos + 1]
     pos += 2
     src = bytes(body[pos : pos + src_len]).decode("utf-8")
     pos += src_len
-    return kind, src, dst, body[pos:]
+    return kind, seq, src, dst, body[pos:]
 
 
 class _TimerHandle:
@@ -194,10 +248,13 @@ class _RealtimeLoop:
 class _FrameConn:
     """Non-blocking socket with frame reassembly and an outbound queue."""
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: socket.socket, wid: int = -1) -> None:
         sock.setblocking(False)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.sock = sock
+        #: Worker index on the parent side (-1 inside workers) — lets the
+        #: router attribute inbound frames to their source worker.
+        self.wid = wid
         self.rbuf = bytearray()
         self.outbound: "deque[bytes]" = deque()
         self._out_off = 0
@@ -272,6 +329,7 @@ class _FrameConn:
         return frames
 
     def close(self) -> None:
+        self.closed = True
         try:
             self.sock.close()
         except OSError:
@@ -282,6 +340,49 @@ def _strip_runtime(actors: Iterable[Actor]) -> List[Actor]:
     for actor in actors:
         actor.runtime = None
     return list(actors)
+
+
+class _WorkerSlot:
+    """Parent-side supervision state for one worker process."""
+
+    __slots__ = (
+        "delivery_seq",
+        "unacked",
+        "unacked_bytes",
+        "acked",
+        "emission_high",
+        "snapshot",
+        "last_heartbeat",
+        "failed",
+        "buffering",
+        "down_since",
+        "down_reason",
+        "epoch",
+    )
+
+    def __init__(self) -> None:
+        #: Last delivery sequence number assigned to a frame for this worker.
+        self.delivery_seq = 0
+        #: (seq, frame) pairs newer than the last snapshot-acked input.
+        self.unacked: "deque[Tuple[int, bytes]]" = deque()
+        self.unacked_bytes = 0
+        #: Highest input seq covered by a received snapshot.
+        self.acked = 0
+        #: Highest emission id seen from this worker (duplicate filter).
+        self.emission_high = 0
+        #: Latest snapshot: {"ack", "emission", "state", "held"} or None.
+        self.snapshot: Optional[Dict[str, Any]] = None
+        self.last_heartbeat = 0.0
+        #: True between failure detection and the start of respawn controls.
+        self.failed = False
+        #: True while outbound frames must buffer instead of hitting the
+        #: socket (failure window + respawn, until retransmission is queued).
+        self.buffering = False
+        self.down_since: Optional[float] = None
+        self.down_reason = ""
+        #: Bumped per respawn; in-flight control waits from the previous
+        #: connection fail fast instead of timing out.
+        self.epoch = 0
 
 
 class MultiprocRuntime:
@@ -295,6 +396,14 @@ class MultiprocRuntime:
     actor's home (``None`` = parent); the default spreads data-plane stage
     names across workers.  Actors registered after :meth:`start` always
     live in the parent.
+
+    ``chaos`` accepts a :class:`~repro.chaos.procchaos.ProcChaos`: its
+    scheduled kills SIGKILL worker processes at the given times, and its
+    frame faults drop/delay raw frames at the forwarding layer.  Surviving
+    kills requires a registered
+    :class:`~repro.runtime.supervisor.ProcessSupervisor` (see the module
+    docstring); without one a killed worker surfaces as a
+    :class:`SessionError`, exactly like any other worker death.
     """
 
     def __init__(
@@ -302,6 +411,8 @@ class MultiprocRuntime:
         workers: int = 2,
         placement: Optional[Callable[[str, int], Optional[int]]] = None,
         host: str = "127.0.0.1",
+        chaos: Optional["ProcChaos"] = None,
+        retransmit_limit_bytes: int = 64 << 20,
     ) -> None:
         if workers < 0:
             raise ConfigurationError("workers must be >= 0")
@@ -309,6 +420,11 @@ class MultiprocRuntime:
         self.loop = _RealtimeLoop()
         self._placement_fn = placement or default_placement
         self._host = host
+        self._chaos = chaos
+        #: Per-worker cap on buffered-for-retransmission bytes; overflow
+        #: drops the oldest frames and accounts them in
+        #: :attr:`loss_accounting` (bounded loss instead of unbounded RAM).
+        self.retransmit_limit_bytes = retransmit_limit_bytes
         self._actors: Dict[str, Actor] = {}
         self._location: Dict[str, Optional[int]] = {}
         self._started = False
@@ -322,6 +438,17 @@ class MultiprocRuntime:
         self._worker_error: Optional[str] = None
         self.messages_routed = 0
         self.bytes_routed = 0
+        # -- supervision state (populated when a ProcessSupervisor is
+        #    registered; otherwise zero-cost) -------------------------------
+        self._supervisor: Optional[ProcessSupervisor] = None
+        self._supervised = False
+        self._slots: List[_WorkerSlot] = []
+        self._breakers: List[CircuitBreaker] = []
+        self._initial_blobs: Dict[int, bytes] = {}
+        self._recovering = False
+        #: Frames/bytes that supervision could not protect: chaos drops,
+        #: retransmit-buffer overflow, drain timeouts, replay gaps.
+        self.loss_accounting: Counter = Counter()
 
     # -- registry (BaseRuntime-compatible surface) ------------------------ #
 
@@ -366,15 +493,86 @@ class MultiprocRuntime:
                 self._placement_fn(name, self.workers) if self.workers else None
             )
         if self.workers:
+            self._supervisor = next(
+                (
+                    actor
+                    for actor in self._actors.values()
+                    if isinstance(actor, ProcessSupervisor)
+                ),
+                None,
+            )
+            self._supervised = self._supervisor is not None
+            self._slots = [_WorkerSlot() for _ in range(self.workers)]
+            if self._supervised:
+                sup = self._supervisor
+                assert sup is not None
+                self._breakers = [
+                    CircuitBreaker(sup.breaker_threshold, sup.breaker_cooldown)
+                    for _ in range(self.workers)
+                ]
             self._spawn_workers()
             self._ship_actors()
+            if self._supervised:
+                for wid in range(self.workers):
+                    self._control(wid, self._configure_payload(wid, 0, 0))
         for name, actor in self._actors.items():
             if self._location[name] is None:
                 actor.on_start()
         if self.workers:
             for wid in range(self.workers):
                 self._control(wid, {"op": "start"})
+        if self._chaos is not None and self.workers:
+            self._schedule_kills()
         return self
+
+    def _configure_payload(
+        self, wid: int, delivered: int, emission: int
+    ) -> Dict[str, Any]:
+        sup = self._supervisor
+        assert sup is not None
+        journaled = sorted(
+            name
+            for name, home in self._location.items()
+            if home == wid and sup.is_journaled(name)
+        )
+        return {
+            "op": "configure",
+            "heartbeat_interval": sup.heartbeat_interval,
+            "snapshot_interval": sup.snapshot_interval,
+            "journaled": journaled,
+            "delivered": delivered,
+            "emission": emission,
+        }
+
+    def _schedule_kills(self) -> None:
+        chaos = self._chaos
+        assert chaos is not None
+        for target, at in chaos.kill_schedule():
+            wid = self._resolve_worker(target)
+            self.loop.schedule(at, lambda w=wid: self._chaos_kill(w))
+
+    def _resolve_worker(self, target: Any) -> int:
+        """Map a kill target (worker index or actor name) to a worker id."""
+        if isinstance(target, int):
+            if not 0 <= target < self.workers:
+                raise ConfigurationError(
+                    f"kill target worker {target} out of range (workers={self.workers})"
+                )
+            return target
+        wid = self._location.get(str(target))
+        if wid is None:
+            raise ConfigurationError(
+                f"kill target {target!r} is not placed on a worker"
+            )
+        return wid
+
+    def _chaos_kill(self, wid: int) -> None:
+        proc = self._procs[wid] if wid < len(self._procs) else None
+        if proc is None or not proc.is_alive():
+            return
+        proc.kill()
+        if self._chaos is not None:
+            self._chaos.stats["workers_killed"] += 1
 
     def _spawn_workers(self) -> None:
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -399,17 +597,55 @@ class MultiprocRuntime:
                 sock, _addr = listener.accept()
                 sock.settimeout(30.0)
                 hello = _read_one_frame_blocking(sock)
-                kind, _src, _dst, payload = _parse_envelope(memoryview(hello)[4:])
+                kind, _seq, _src, _dst, payload = _parse_envelope(
+                    memoryview(hello)[4:]
+                )
                 if kind != _K_REPLY:
                     raise SessionError("bad worker handshake")
                 wid = pickle.loads(bytes(payload))["hello"]
-                conns[wid] = _FrameConn(sock)
+                conns[wid] = _FrameConn(sock, wid=wid)
         finally:
             listener.close()
         self._conns = [conns[wid] for wid in range(self.workers)]
         self._selector = selectors.DefaultSelector()
-        for conn in self._conns:
+        now = _wall_clock()
+        for wid, conn in enumerate(self._conns):
             self._selector.register(conn.sock, selectors.EVENT_READ, conn)
+            if self._slots:
+                self._slots[wid].last_heartbeat = now
+
+    def _spawn_one(self, wid: int) -> Tuple[Any, _FrameConn]:
+        """Spawn and handshake a single replacement worker process."""
+        sup = self._supervisor
+        timeout = sup.spawn_timeout if sup is not None else 10.0
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, 0))
+        listener.listen(1)
+        listener.settimeout(timeout)
+        port = listener.getsockname()[1]
+        ctx = get_context("spawn")
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(wid, self._host, port),
+            daemon=True,
+            name=f"repro-mp-worker-{wid}",
+        )
+        proc.start()
+        try:
+            sock, _addr = listener.accept()
+            sock.settimeout(timeout)
+            hello = _read_one_frame_blocking(sock, timeout=timeout)
+            kind, _seq, _src, _dst, payload = _parse_envelope(memoryview(hello)[4:])
+            if kind != _K_REPLY or pickle.loads(bytes(payload)).get("hello") != wid:
+                raise SessionError(f"bad handshake from respawned worker {wid}")
+        except (socket.timeout, OSError) as exc:
+            proc.kill()
+            proc.join(1.0)
+            raise SessionError(f"worker {wid} respawn handshake failed: {exc!r}")
+        finally:
+            listener.close()
+        return proc, _FrameConn(sock, wid=wid)
 
     def _ship_actors(self) -> None:
         by_worker: Dict[int, List[Actor]] = {}
@@ -422,33 +658,51 @@ class MultiprocRuntime:
             # One pickle per worker keeps objects shared between co-located
             # actors (ownership plans, filter maps) shared after transfer.
             blob = pickle.dumps(_strip_runtime(group), protocol=pickle.HIGHEST_PROTOCOL)
+            if self._supervised:
+                # Kept so a worker that dies before its first snapshot can
+                # still be restored to its initial shipped state.
+                self._initial_blobs[wid] = blob
             self._control(wid, {"op": "load", "actors": blob})
             for actor in group:  # parent keeps shadows for introspection
                 actor.runtime = self  # type: ignore[assignment]
 
     def stop(self) -> None:
-        """Shut workers down and join their processes (idempotent)."""
+        """Shut workers down, then *always* reap children and close every
+        parent-side socket — even when the graceful control round fails
+        (idempotent; a worker that died early must not leak its socket or
+        linger as a zombie)."""
         if self._stopped:
             return
         self._stopped = True
-        for wid, conn in enumerate(self._conns):
-            if conn.closed:
-                continue
-            try:
-                self._control(wid, {"op": "stop"}, timeout=5.0)
-            except SessionError:
-                pass
-        for conn in self._conns:
-            conn.close()
-        for proc in self._procs:
-            proc.join(timeout=5.0)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=5.0)
-        self._conns = []
-        if self._selector is not None:
-            self._selector.close()
-            self._selector = None
+        try:
+            for wid, conn in enumerate(self._conns):
+                if conn.closed:
+                    continue
+                if self._supervised and self._slots[wid].failed:
+                    continue
+                try:
+                    self._control(wid, {"op": "stop"}, timeout=5.0)
+                except SessionError:
+                    pass
+        finally:
+            for conn in self._conns:
+                conn.close()
+            self._conns = []
+            for proc in self._procs:
+                try:
+                    proc.join(timeout=5.0)
+                    if proc.is_alive():
+                        proc.kill()
+                        proc.join(timeout=5.0)
+                except (OSError, ValueError):
+                    pass  # already reaped / closed by multiprocessing
+            self._procs = []
+            if self._selector is not None:
+                try:
+                    self._selector.close()
+                except OSError:
+                    pass
+                self._selector = None
 
     # -- messaging --------------------------------------------------------- #
 
@@ -494,7 +748,7 @@ class MultiprocRuntime:
 
     def send_prepared(self, frame: bytes) -> None:
         """Route a frame built by :meth:`prepare_encoded` (zero-copy resend)."""
-        _kind, src, dst, payload = _parse_envelope(memoryview(frame)[4:])
+        _kind, _seq, src, dst, payload = _parse_envelope(memoryview(frame)[4:])
         wid = self._location.get(dst)
         if wid is None:
             if dst not in self._actors:
@@ -504,14 +758,47 @@ class MultiprocRuntime:
         self._queue_to_worker(wid, frame)
 
     def _queue_to_worker(self, wid: int, frame: bytes) -> None:
-        conn = self._conns[wid]
-        conn.queue(frame)
+        """Forwarding layer: chaos interception happens here, *before* a
+        delivery sequence number is assigned, so a delayed frame re-enters
+        the normal path and per-worker delivery stays in order."""
+        if self._chaos is not None:
+            action, delay = self._chaos.decide_frame()
+            if action == "drop":
+                self.loss_accounting["chaos_dropped_frames"] += 1
+                return
+            if action == "delay":
+                self.loop.schedule(
+                    delay, lambda w=wid, f=frame: self._admit_frame(w, f)
+                )
+                return
+        self._admit_frame(wid, frame)
+
+    def _admit_frame(self, wid: int, frame: bytes) -> None:
+        if self._supervised:
+            slot = self._slots[wid]
+            slot.delivery_seq += 1
+            patched = bytearray(frame)
+            _U32.pack_into(patched, _SEQ_OFF, slot.delivery_seq)
+            frame = bytes(patched)
+            slot.unacked.append((slot.delivery_seq, frame))
+            slot.unacked_bytes += len(frame)
+            while slot.unacked_bytes > self.retransmit_limit_bytes and slot.unacked:
+                _d, old = slot.unacked.popleft()
+                slot.unacked_bytes -= len(old)
+                self.loss_accounting["retransmit_overflow_frames"] += 1
+                self.loss_accounting["retransmit_overflow_bytes"] += len(old)
+            if not slot.buffering:
+                self._conns[wid].queue(frame)
+        else:
+            self._conns[wid].queue(frame)
         self.messages_routed += 1
         self.bytes_routed += len(frame)
 
     # -- control channel ---------------------------------------------------- #
 
     def _control(self, wid: int, payload: Dict[str, Any], timeout: float = 30.0) -> Any:
+        slot = self._slots[wid] if self._supervised else None
+        epoch = slot.epoch if slot is not None else 0
         seq = next(self._ctrl_seq)
         payload = dict(payload)
         payload["seq"] = seq
@@ -519,6 +806,13 @@ class MultiprocRuntime:
         self._conns[wid].queue(_envelope(_K_CTRL, "", "", blob))
         deadline = _wall_clock() + timeout
         while seq not in self._ctrl_replies:
+            if slot is not None and (slot.failed or slot.epoch != epoch):
+                # The worker died (or was respawned) under this request; the
+                # reply will never arrive — fail fast so callers can skip or
+                # retry instead of hanging out the full timeout.
+                raise SessionError(
+                    f"worker {wid} went down awaiting {payload['op']!r} reply"
+                )
             if _wall_clock() > deadline:
                 raise SessionError(f"worker {wid} control timeout: {payload['op']}")
             self._pump(0.05)
@@ -542,6 +836,8 @@ class MultiprocRuntime:
         After this, parent-side introspection helpers (``all_entries``,
         ``frontiers``, drain checks) read current data — the multiproc
         equivalent of looking directly at a single-process runtime's actors.
+        Under supervision a failed worker is skipped (its shadows stay stale
+        until recovery) instead of failing the whole refresh.
         """
         wanted = set(names) if names is not None else None
         by_worker: Dict[int, List[str]] = {}
@@ -550,7 +846,14 @@ class MultiprocRuntime:
                 continue
             by_worker.setdefault(wid, []).append(name)
         for wid, group in sorted(by_worker.items()):
-            blob = self._control(wid, {"op": "fetch_many", "names": group})
+            if self._supervised and self._slots[wid].failed:
+                continue
+            try:
+                blob = self._control(wid, {"op": "fetch_many", "names": group})
+            except SessionError:
+                if not self._supervised:
+                    raise
+                continue  # died mid-fetch; recovery will catch it
             fetched: Dict[str, Actor] = pickle.loads(blob)
             for name, actor in fetched.items():
                 shadow = self._actors.get(name)
@@ -576,6 +879,246 @@ class MultiprocRuntime:
         if wid is None:
             return fn(self._actors[name])
         return self._control(wid, {"op": "peek", "name": name, "fn": fn})
+
+    # -- supervision: detection, respawn, drain ----------------------------- #
+
+    def check_workers(self) -> int:
+        """Detect dead/hung workers and respawn them; returns respawns.
+
+        Called by :class:`~repro.runtime.supervisor.ProcessSupervisor` on
+        its sweep timer (which fires from the parent pump), and safe to call
+        directly from drivers.
+        """
+        if not self._supervised or not self._started or self._stopped:
+            return 0
+        if self._recovering:
+            return 0  # re-entered from a nested pump during a respawn
+        self._detect_failures()
+        restarted = 0
+        self._recovering = True
+        try:
+            for wid, slot in enumerate(self._slots):
+                if slot.failed:
+                    self._respawn_worker(wid)
+                    restarted += 1
+        finally:
+            self._recovering = False
+        return restarted
+
+    def _detect_failures(self) -> None:
+        sup = self._supervisor
+        assert sup is not None
+        now = _wall_clock()
+        for wid, slot in enumerate(self._slots):
+            if slot.failed:
+                continue
+            proc = self._procs[wid]
+            conn = self._conns[wid]
+            reason = None
+            if proc.exitcode is not None:
+                reason = f"exit code {proc.exitcode}"
+            elif conn.closed:
+                reason = "socket closed"
+            elif (
+                slot.last_heartbeat
+                and now - slot.last_heartbeat > sup.heartbeat_timeout
+            ):
+                reason = f"no heartbeat for {now - slot.last_heartbeat:.2f}s"
+            if reason is not None:
+                self._mark_worker_down(wid, reason)
+
+    def _mark_worker_down(self, wid: int, reason: str) -> None:
+        slot = self._slots[wid]
+        if slot.failed:
+            return
+        slot.failed = True
+        slot.buffering = True
+        slot.down_reason = reason
+        if slot.down_since is None:
+            slot.down_since = _wall_clock()
+        conn = self._conns[wid]
+        if self._selector is not None:
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+        conn.close()
+
+    def _respawn_worker(self, wid: int) -> None:
+        """Kill/reap the old process, spawn a fresh one, restore the latest
+        snapshot (journal-backed actors rebuilt from disk), re-inject the
+        snapshot's held outputs through the emission dedup, and retransmit
+        every unacknowledged input frame."""
+        sup = self._supervisor
+        assert sup is not None
+        slot = self._slots[wid]
+        detected = slot.down_since if slot.down_since is not None else _wall_clock()
+        breaker = self._breakers[wid]
+        attempt = 0
+        while True:
+            now = _wall_clock()
+            if not breaker.allow(now):
+                raise SessionError(
+                    f"worker {wid} circuit open after repeated respawn failures "
+                    f"(last reason: {slot.down_reason})"
+                )
+            try:
+                self._respawn_once(wid)
+                breaker.record_success(_wall_clock())
+                break
+            except SessionError as exc:
+                breaker.record_failure(_wall_clock())
+                self._mark_worker_down(wid, f"respawn attempt failed: {exc}")
+                attempt += 1
+                if attempt >= sup.retry.max_attempts:
+                    raise SessionError(
+                        f"worker {wid} respawn failed after {attempt} attempts: {exc}"
+                    )
+                time.sleep(sup.retry.delay(attempt - 1))
+        snap = slot.snapshot
+        replayed = len(slot.unacked)
+        recovered_at = _wall_clock()
+        sup.record_recovery(
+            worker=wid,
+            detected=detected,
+            recovered=recovered_at,
+            replayed=replayed,
+            reason=slot.down_reason,
+            from_snapshot=snap is not None,
+        )
+        slot.down_since = None
+        slot.down_reason = ""
+
+    def _respawn_once(self, wid: int) -> None:
+        sup = self._supervisor
+        assert sup is not None
+        slot = self._slots[wid]
+        # Reap the old process with prejudice: SIGKILL leaves no split-brain
+        # twin half-processing frames while the replacement starts.
+        old_proc = self._procs[wid]
+        try:
+            if old_proc.is_alive():
+                old_proc.kill()
+            old_proc.join(5.0)
+        except (OSError, ValueError):
+            pass
+        old_conn = self._conns[wid]
+        if self._selector is not None and not old_conn.closed:
+            try:
+                self._selector.unregister(old_conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+        old_conn.close()
+        proc, conn = self._spawn_one(wid)
+        self._procs[wid] = proc
+        self._conns[wid] = conn
+        assert self._selector is not None
+        self._selector.register(conn.sock, selectors.EVENT_READ, conn)
+        slot.epoch += 1
+        slot.failed = False  # controls may flow; data frames still buffer
+        slot.last_heartbeat = _wall_clock()
+        snap = slot.snapshot
+        # Journal-backed actors: rebuild parent-side by replaying the
+        # on-disk journal, keep the replacement as the parent shadow, and
+        # ship it alongside the snapshot state.
+        journaled_names = [
+            name
+            for name, home in self._location.items()
+            if home == wid and sup.is_journaled(name)
+        ]
+        recovered: Dict[str, Actor] = {}
+        for name in journaled_names:
+            replacement = sup.build_replacement(name)
+            replacement.runtime = None
+            recovered[name] = replacement
+        jblob = (
+            pickle.dumps(recovered, protocol=pickle.HIGHEST_PROTOCOL)
+            if recovered
+            else None
+        )
+        self._control(
+            wid,
+            {
+                "op": "restore",
+                "state": snap["state"] if snap is not None else None,
+                "initial": None if snap is not None else self._initial_blobs.get(wid),
+                "journaled": jblob,
+            },
+        )
+        for name, replacement in recovered.items():
+            replacement.runtime = self  # type: ignore[assignment]
+            self._actors[name] = replacement
+        ack = snap["ack"] if snap is not None else 0
+        emission = snap["emission"] if snap is not None else 0
+        self._control(wid, self._configure_payload(wid, ack, emission))
+        self._control(wid, {"op": "start"})
+        # Outputs captured by the snapshot may or may not have escaped the
+        # dead worker — re-route them through the emission dedup, which
+        # drops exactly the ones that did.
+        if snap is not None:
+            for held in snap["held"]:
+                self._route_frame(wid, held)
+        # Bounded loss: if overflow trimmed frames the snapshot never
+        # covered, the replay has a gap — count it instead of hiding it.
+        if slot.unacked:
+            first = slot.unacked[0][0]
+            if first > ack + 1:
+                self.loss_accounting["replay_gap_frames"] += first - ack - 1
+        for _d, frame in slot.unacked:
+            conn.queue(frame)
+        slot.buffering = False
+
+    def drain_worker(self, wid: int, timeout: float = 5.0) -> bool:
+        """Quiesce worker ``wid``: repeatedly flush its queues into a
+        snapshot until the snapshot acknowledges every delivered frame (or
+        ``timeout`` expires).  Returns True when fully drained."""
+        if not self._supervised:
+            raise ConfigurationError("drain_worker requires a ProcessSupervisor")
+        slot = self._slots[wid]
+        deadline = _wall_clock() + timeout
+        while _wall_clock() < deadline:
+            if slot.failed or self._conns[wid].closed:
+                return False
+            try:
+                self._control(
+                    wid,
+                    {"op": "drain"},
+                    timeout=max(0.1, deadline - _wall_clock()),
+                )
+            except SessionError:
+                return False
+            # FIFO: the drain reply follows the snapshot it forced, so the
+            # slot's ack is current by the time _control returns.
+            if slot.acked >= slot.delivery_seq:
+                return True
+        return False
+
+    def restart_worker(
+        self, wid: int, drain: bool = True, drain_timeout: float = 5.0
+    ) -> bool:
+        """Planned restart (the elasticity path): drain, then respawn.
+
+        With ``drain`` the worker's queues are quiesced into a final
+        snapshot first, so the restart loses nothing; when the drain cannot
+        complete in time the restart proceeds anyway — unsnapshotted inputs
+        are replayed from the parent's buffer, and any genuinely
+        unprotectable frames are counted in :attr:`loss_accounting`.
+        Returns True when the pre-restart drain completed.
+        """
+        if not self._supervised:
+            raise ConfigurationError("restart_worker requires a ProcessSupervisor")
+        if not 0 <= wid < self.workers:
+            raise ConfigurationError(f"worker {wid} out of range")
+        drained = self.drain_worker(wid, timeout=drain_timeout) if drain else False
+        if drain and not drained:
+            self.loss_accounting["drain_timeouts"] += 1
+        self._mark_worker_down(wid, "planned restart")
+        self._recovering = True
+        try:
+            self._respawn_worker(wid)
+        finally:
+            self._recovering = False
+        return drained
 
     # -- execution ---------------------------------------------------------- #
 
@@ -664,9 +1207,12 @@ class MultiprocRuntime:
                 conn = key.data
                 if mask & selectors.EVENT_READ:
                     for frame in conn.read_frames():
-                        self._route_frame(frame)
+                        self._route_frame(conn.wid, frame)
                 if conn.closed and not self._stopped:
-                    self._worker_error = "a worker process disconnected"
+                    if self._supervised:
+                        self._mark_worker_down(conn.wid, "disconnected")
+                    else:
+                        self._worker_error = "a worker process disconnected"
             for conn in self._conns:
                 if conn.wants_write and not conn.closed:
                     conn.flush()
@@ -685,26 +1231,52 @@ class MultiprocRuntime:
                 delivered += 1
         return delivered
 
-    def _route_frame(self, frame: bytes) -> None:
-        kind, src, dst, payload = _parse_envelope(memoryview(frame)[4:])
+    def _route_frame(self, wid: int, frame: bytes) -> None:
+        kind, seq, src, dst, payload = _parse_envelope(memoryview(frame)[4:])
+        if self._supervised and 0 <= wid < len(self._slots):
+            self._slots[wid].last_heartbeat = _wall_clock()
         if kind == _K_REPLY:
             reply = pickle.loads(bytes(payload))
             if "worker_error" in reply:
                 self._worker_error = reply["worker_error"]
+            elif "snapshot" in reply:
+                self._on_snapshot(wid, reply["snapshot"])
+            elif "heartbeat" in reply:
+                pass  # liveness already noted above
             else:
                 self._ctrl_replies[reply["seq"]] = reply
             return
         if kind != _K_MSG:
             raise SessionError(f"unexpected frame kind {kind} at the router")
-        wid = self._location.get(dst)
-        if wid is None:
+        if seq and self._supervised and 0 <= wid < len(self._slots):
+            slot = self._slots[wid]
+            if seq <= slot.emission_high:
+                return  # duplicate emission from a restarted worker
+            slot.emission_high = seq
+        target = self._location.get(dst)
+        if target is None:
             if dst not in self._actors:
                 raise SessionError(f"route to unknown actor {dst!r}")
             # payload view pins `frame`; lazy batches stay valid after this.
             self._pending_local.append((src, dst, decode_value_binary(payload)))
             return
-        # Worker→worker: forward the original frame bytes untouched.
-        self._queue_to_worker(wid, frame)
+        # Worker→worker: forward the original frame bytes untouched (the
+        # supervised path re-stamps seq with the destination's delivery
+        # number on a copy inside _admit_frame).
+        self._queue_to_worker(target, frame)
+
+    def _on_snapshot(self, wid: int, snap: Dict[str, Any]) -> None:
+        """Record a worker snapshot and trim its retransmit buffer: every
+        input frame the snapshot acknowledges is now recoverable from the
+        snapshot itself and never needs retransmission."""
+        slot = self._slots[wid]
+        slot.snapshot = snap
+        ack = int(snap["ack"])
+        unacked = slot.unacked
+        while unacked and unacked[0][0] <= ack:
+            _d, old = unacked.popleft()
+            slot.unacked_bytes -= len(old)
+        slot.acked = ack
 
     # -- context manager ----------------------------------------------------- #
 
@@ -715,7 +1287,8 @@ class MultiprocRuntime:
         self.stop()
 
 
-def _read_one_frame_blocking(sock: socket.socket) -> bytes:
+def _read_one_frame_blocking(sock: socket.socket, timeout: float = 30.0) -> bytes:
+    sock.settimeout(timeout)
     data = b""
     while len(data) < 4:
         chunk = sock.recv(4 - len(data))
@@ -742,6 +1315,14 @@ class _WorkerNode:
 
     Local destinations deliver in-process (same semantics as the parent's
     pending queue); everything else is encoded once and sent to the router.
+
+    Under supervision the node follows the output-commit discipline from
+    the module docstring: remote sends are assigned an emission id and
+    *held*; a periodic snapshot pickles actor state (journal-backed actors
+    excluded), records the held frames and the input ack, queues the
+    snapshot to the parent, and only then releases the held frames — per
+    TCP FIFO, no frame can reach the parent before the snapshot that
+    captured it.
     """
 
     def __init__(self, worker_id: int, sock: socket.socket) -> None:
@@ -752,6 +1333,18 @@ class _WorkerNode:
         self._pending: "deque[Tuple[str, str, Any]]" = deque()
         self._started = False
         self._stopping = False
+        # -- supervision state (set by the "configure" control op) ---------
+        self._supervised = False
+        self._heartbeat_interval = 0.5
+        self._snapshot_interval = 0.05
+        self._journaled: Set[str] = set()
+        #: Highest input delivery seq dispatched (strict: lower = duplicate).
+        self._delivered_seq = 0
+        #: Last emission id assigned to an outbound frame.
+        self._emission = 0
+        #: Outbound frames awaiting capture by the next snapshot.
+        self._held: List[bytes] = []
+        self._last_snap = (-1, -1)
 
     @property
     def now(self) -> float:
@@ -774,7 +1367,12 @@ class _WorkerNode:
         if dst in self._actors:
             self._pending.append((src, dst, message))
             return
-        self.conn.queue(_envelope(_K_MSG, src, dst, encode_value_binary(message)))
+        payload = encode_value_binary(message)
+        if self._supervised:
+            self._emission += 1
+            self._held.append(_envelope(_K_MSG, src, dst, payload, seq=self._emission))
+        else:
+            self.conn.queue(_envelope(_K_MSG, src, dst, payload))
 
     def _reply(self, payload: Dict[str, Any]) -> None:
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
@@ -788,11 +1386,43 @@ class _WorkerNode:
                 for actor in pickle.loads(ctrl["actors"]):
                     self.register(actor)
                 self._reply({"seq": seq, "value": None})
+            elif op == "restore":
+                # Replace the world: snapshot state (or the initial shipped
+                # blob) plus journal-recovered actors from the parent.
+                self._actors.clear()
+                self._pending.clear()
+                self._started = False
+                state_blob = ctrl.get("state")
+                if state_blob is not None:
+                    for actor in pickle.loads(state_blob).values():
+                        self.register(actor)
+                initial = ctrl.get("initial")
+                if initial is not None:
+                    for actor in pickle.loads(initial):
+                        self.register(actor)
+                jblob = ctrl.get("journaled")
+                if jblob is not None:
+                    # Journal replacements override any stale initial copy.
+                    for actor in pickle.loads(jblob).values():
+                        self.register(actor)
+                self._reply({"seq": seq, "value": None})
+            elif op == "configure":
+                self._supervised = True
+                self._heartbeat_interval = float(ctrl["heartbeat_interval"])
+                self._snapshot_interval = float(ctrl["snapshot_interval"])
+                self._journaled = set(ctrl.get("journaled", ()))
+                self._delivered_seq = int(ctrl.get("delivered", 0))
+                self._emission = int(ctrl.get("emission", 0))
+                self._held = []
+                self._last_snap = (-1, -1)
+                self._reply({"seq": seq, "value": None})
             elif op == "start":
                 if not self._started:
                     self._started = True
                     for actor in list(self._actors.values()):
                         actor.on_start()
+                    if self._supervised:
+                        self._arm_supervision()
                 self._reply({"seq": seq, "value": None})
             elif op == "fetch":
                 actor = self._actors[ctrl["name"]]
@@ -804,13 +1434,61 @@ class _WorkerNode:
             elif op == "peek":
                 value = ctrl["fn"](self._actors[ctrl["name"]])
                 self._reply({"seq": seq, "value": value})
+            elif op == "drain":
+                # Force a snapshot (which first drains local pending work and
+                # releases held outputs); the reply rides behind it in FIFO
+                # order, so the parent's ack is current when it arrives.
+                self._snapshot(force=True)
+                self._reply({"seq": seq, "value": {"ack": self._delivered_seq}})
             elif op == "stop":
+                if self._supervised:
+                    self._snapshot(force=True)
                 self._stopping = True
                 self._reply({"seq": seq, "value": None})
             else:
                 self._reply({"seq": seq, "error": f"unknown control op {op!r}"})
         except Exception as exc:  # noqa: BLE001 - reported to the parent
             self._reply({"seq": seq, "error": _format_error(exc)})
+
+    def _arm_supervision(self) -> None:
+        def heartbeat() -> None:
+            self._reply({"heartbeat": self.worker_id, "ack": self._delivered_seq})
+            self.loop.schedule(self._heartbeat_interval, heartbeat)
+
+        def snapshot() -> None:
+            self._snapshot()
+            self.loop.schedule(self._snapshot_interval, snapshot)
+
+        # Baseline snapshot straight away: a worker that dies before any
+        # traffic is restorable to its exact post-start state.
+        self._snapshot(force=True)
+        self.loop.schedule(self._heartbeat_interval, heartbeat)
+        self.loop.schedule(self._snapshot_interval, snapshot)
+
+    def _snapshot(self, force: bool = False) -> None:
+        """Capture (actor state, held outputs, input ack), queue it to the
+        parent, then release the held outputs.  Skips when nothing changed
+        since the last capture."""
+        # In-flight local messages are part of the state; settle them first
+        # so the pickled actors are not mid-conversation.
+        while self._pending:
+            src, dst, message = self._pending.popleft()
+            self._dispatch_safely(src, dst, message)
+        marker = (self._delivered_seq, self._emission)
+        if not force and marker == self._last_snap and not self._held:
+            return
+        names = [name for name in self._actors if name not in self._journaled]
+        snap = {
+            "ack": self._delivered_seq,
+            "emission": self._emission,
+            "state": self._pickle_detached(names),
+            "held": list(self._held),
+        }
+        self._reply({"snapshot": snap})
+        self._last_snap = marker
+        held, self._held = self._held, []
+        for frame in held:
+            self.conn.queue(frame)
 
     def _pickle_detached(self, names: List[str]) -> bytes:
         """Pickle ``{name: actor}`` with runtimes stripped (one blob, so
@@ -871,13 +1549,17 @@ class _WorkerNode:
             self.conn.close()
 
     def _on_frame(self, frame: bytes) -> None:
-        kind, src, dst, payload = _parse_envelope(memoryview(frame)[4:])
+        kind, seq, src, dst, payload = _parse_envelope(memoryview(frame)[4:])
         if kind == _K_CTRL:
             self._handle_control(pickle.loads(bytes(payload)))
             return
         if kind != _K_MSG:
             self._reply({"worker_error": f"worker got frame kind {kind}"})
             return
+        if seq:
+            if seq <= self._delivered_seq:
+                return  # retransmitted duplicate after a parent replay
+            self._delivered_seq = seq
         # `payload` views `frame` (immutable bytes), so lazy RecordBatch
         # views decoded here stay valid for the life of the batch.
         self._dispatch_safely(src, dst, decode_value_binary(payload))
@@ -904,7 +1586,7 @@ def _worker_main(worker_id: int, host: str, port: int) -> None:
     # are acyclic, so raising the thresholds trades nothing but peak cycle
     # latency for a large steady-state throughput win.
     gc.set_threshold(200_000, 100, 100)
-    sock = socket.create_connection((host, port))
+    sock = socket.create_connection((host, port), timeout=30.0)
     hello = pickle.dumps({"hello": worker_id}, protocol=pickle.HIGHEST_PROTOCOL)
     sock.sendall(_envelope(_K_REPLY, "", "", hello))
     node = _WorkerNode(worker_id, sock)

@@ -10,13 +10,22 @@ periodic timer, rebuilds each victim (e.g. a maintainer replayed from its
 same address via :meth:`~repro.runtime.local.BaseRuntime.replace`.  Traffic
 parked during the outage is redelivered to the replacement, so peers observe
 nothing worse than latency.
+
+:class:`ProcessSupervisor` extends the same contract to real OS processes:
+on a :class:`~repro.runtime.multiproc.MultiprocRuntime` its sweep also asks
+the runtime to check its worker processes (heartbeat staleness, exit codes,
+socket EOF) and respawn the dead ones, with journal-backed actors rebuilt
+through the same recovery factories.  On single-process runtimes it behaves
+exactly like :class:`Supervisor`, so deployments can register one supervisor
+type regardless of substrate.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
+from ..core.retry import RetryPolicy
 from .actor import Actor
 
 #: A recovery factory rebuilds the replacement actor for one crashed address.
@@ -62,4 +71,96 @@ class Supervisor(Actor):
             runtime.replace(replacement)  # also revives + flushes parked mail
             self.restarts[name] += 1
             restarted += 1
+        return restarted
+
+
+class ProcessSupervisor(Supervisor):
+    """Supervision for worker *processes*, not just in-process actors.
+
+    Registered on a :class:`~repro.runtime.multiproc.MultiprocRuntime`, it
+    switches the runtime into supervised mode (heartbeats, snapshots, frame
+    retransmission — see that module's docstring) and drives failure
+    detection + respawn from its sweep timer.  The recovery factories double
+    as the journal-replay path: an actor with a registered factory is
+    treated as journal-backed — excluded from worker snapshots and rebuilt
+    from its durable journal on restart.
+
+    Tuning knobs:
+
+    * ``heartbeat_interval`` / ``heartbeat_timeout`` — worker liveness
+      (timeout defaults to 10x the interval; EOF and exit codes catch hard
+      crashes much sooner, heartbeats exist for *hangs*);
+    * ``snapshot_interval`` — worker state capture cadence, which is also
+      the output-commit release latency per cross-worker hop;
+    * ``spawn_timeout`` — respawn handshake deadline;
+    * ``retry`` / ``breaker_threshold`` / ``breaker_cooldown`` — respawn
+      backoff via the shared :mod:`repro.core.retry` mechanisms.
+    """
+
+    def __init__(
+        self,
+        name: str = "supervisor",
+        check_interval: float = 0.05,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: Optional[float] = None,
+        snapshot_interval: float = 0.05,
+        spawn_timeout: float = 10.0,
+        retry: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 1.0,
+    ) -> None:
+        super().__init__(name, check_interval)
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = (
+            heartbeat_timeout if heartbeat_timeout is not None else 10.0 * heartbeat_interval
+        )
+        self.snapshot_interval = snapshot_interval
+        self.spawn_timeout = spawn_timeout
+        self.retry = retry if retry is not None else RetryPolicy(max_attempts=4)
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        #: One entry per completed worker recovery (diagnostics / metrics):
+        #: {"worker", "seconds", "replayed", "reason", "from_snapshot"}.
+        self.recoveries: List[Dict[str, Any]] = []
+
+    def is_journaled(self, actor_name: str) -> bool:
+        """Actors with recovery factories restore from durable journals."""
+        return actor_name in self._factories
+
+    def build_replacement(self, actor_name: str) -> Actor:
+        """Rebuild one journal-backed actor (counts as a restart)."""
+        replacement = self._factories[actor_name]()
+        self.restarts[actor_name] += 1
+        return replacement
+
+    def record_recovery(
+        self,
+        worker: int,
+        detected: float,
+        recovered: float,
+        replayed: int,
+        reason: str = "",
+        from_snapshot: bool = True,
+    ) -> None:
+        """Called by the runtime after a worker respawn completes."""
+        self.restarts[f"worker/{worker}"] += 1
+        self.recoveries.append(
+            {
+                "worker": worker,
+                "seconds": max(0.0, recovered - detected),
+                "replayed": replayed,
+                "reason": reason,
+                "from_snapshot": from_snapshot,
+            }
+        )
+
+    def sweep(self) -> int:
+        """Actor-level sweep where supported, plus worker-process checks."""
+        runtime = self._require_runtime()
+        restarted = 0
+        if hasattr(runtime, "crashed_actors"):
+            restarted += super().sweep()
+        check = getattr(runtime, "check_workers", None)
+        if check is not None:
+            restarted += int(check())
         return restarted

@@ -414,6 +414,135 @@ def _functional(runtime: str) -> ScenarioSpec:
     )
 
 
+def _crash_during_partition() -> ScenarioSpec:
+    # The ROADMAP chaos soak: a maintainer dies while its datacenter is cut
+    # off from the WAN, so journal-replay recovery and partition catch-up
+    # overlap — the log must still come out gap-free and convergent.
+    return ScenarioSpec(
+        name="crash-during-partition",
+        title="Chaos soak: maintainer crash inside a WAN partition window",
+        kind="functional",
+        runtime="local",
+        tags=("chaos", "soak", "functional"),
+        topology=TopologySpec(datacenters=("A", "B")),
+        workload=WorkloadSpec(lid_batch=8, append_records=16, settle_seconds=60.0),
+        faults={
+            "seed": 13,
+            "rules": [],
+            "crashes": [{"actor": "A/store/0", "at": 0.1}],
+            "kills": [],
+            "partitions": [{"a": "A/", "b": "B/", "start": 0.02, "end": 0.8}],
+        },
+        invariants=(
+            Invariant(metric="points.0.converged", op="eq", value=True),
+            Invariant(metric="points.0.causal_order_ok", op="eq", value=True),
+            Invariant(metric="points.0.gap_free", op="eq", value=True,
+                      note="journal replay leaves no hole in the log"),
+            Invariant(metric="points.0.duplicate_free", op="eq", value=True,
+                      note="replay + partition retransmits assign no LId twice"),
+            Invariant(metric="points.0.records.A", op="eq",
+                      other="points.0.records.B",
+                      note="pipeline outcome matches the abstract log"),
+            Invariant(metric="points.0.restarts", op="ge", value=1,
+                      note="the supervisor actually restarted the victim"),
+            Invariant(metric="faults.partitioned", op="gt", value=0,
+                      note="the partition actually severed traffic"),
+        ),
+        notes="Crash at 0.1s lands inside the 0.02-0.8s A/B partition "
+              "(virtual time; the whole run converges in about a second).",
+    )
+
+
+def _rolling_maintainer_restart() -> ScenarioSpec:
+    # Every maintainer in the deployment crashes once, staggered, under
+    # continuous client load — the rolling-restart elasticity drill.
+    return ScenarioSpec(
+        name="rolling-maintainer-restart",
+        title="Chaos soak: rolling restart of every maintainer under load",
+        kind="functional",
+        runtime="local",
+        tags=("chaos", "soak", "functional"),
+        topology=TopologySpec(datacenters=("A", "B"), maintainers=2),
+        workload=WorkloadSpec(lid_batch=8, append_records=32, settle_seconds=60.0),
+        faults={
+            "seed": 17,
+            "rules": [],
+            "crashes": [
+                {"actor": "A/store/0", "at": 0.01},
+                {"actor": "A/store/1", "at": 0.03},
+                {"actor": "B/store/0", "at": 0.05},
+                {"actor": "B/store/1", "at": 0.07},
+            ],
+            "kills": [],
+            "partitions": [],
+        },
+        invariants=(
+            Invariant(metric="points.0.converged", op="eq", value=True),
+            Invariant(metric="points.0.causal_order_ok", op="eq", value=True),
+            Invariant(metric="points.0.gap_free", op="eq", value=True),
+            Invariant(metric="points.0.duplicate_free", op="eq", value=True),
+            Invariant(metric="points.0.acked", op="eq",
+                      other="points.0.appended",
+                      note="no client append is lost across the restarts"),
+            Invariant(metric="points.0.restarts", op="ge", value=4,
+                      note="all four maintainers were restarted"),
+        ),
+        notes="Crashes staggered 20ms apart (virtual time) so at most one "
+              "maintainer per datacenter is down at a time.",
+    )
+
+
+def _multiproc_crash_recovery() -> ScenarioSpec:
+    # The acceptance scenario for process-level supervision: SIGKILL one
+    # stage worker and one maintainer worker mid-run (real OS processes),
+    # and require the same outcome as a fault-free run plus bounded,
+    # invariant-checked recovery time.
+    return ScenarioSpec(
+        name="multiproc-crash-recovery",
+        title="Chaos: SIGKILL a stage worker and a maintainer worker mid-run",
+        kind="functional",
+        runtime="multiproc",
+        tags=("chaos", "functional", "net"),
+        topology=TopologySpec(datacenters=("A", "B"), workers=4),
+        workload=WorkloadSpec(lid_batch=8, append_records=12, settle_seconds=120.0),
+        faults={
+            "seed": 19,
+            "rules": [],
+            "crashes": [],
+            # pipeline_placement: A's stages live on worker 0, A's
+            # maintainers+indexers on worker 1 — one kill each.
+            "kills": [
+                {"worker": "A/batcher/0", "at": 0.15},
+                {"worker": "A/store/0", "at": 0.3},
+            ],
+            "partitions": [],
+        },
+        invariants=(
+            Invariant(metric="points.0.converged", op="eq", value=True),
+            Invariant(metric="points.0.causal_order_ok", op="eq", value=True),
+            Invariant(metric="points.0.gap_free", op="eq", value=True,
+                      note="no LId lost to the kills"),
+            Invariant(metric="points.0.duplicate_free", op="eq", value=True,
+                      note="no LId assigned twice during replay"),
+            Invariant(metric="points.0.acked", op="eq",
+                      other="points.0.appended"),
+            Invariant(metric="points.0.records.A", op="eq",
+                      other="points.0.records.B"),
+            Invariant(metric="points.0.workers_killed", op="eq", value=2,
+                      note="both scheduled SIGKILLs fired"),
+            Invariant(metric="points.0.recoveries", op="ge", value=2,
+                      note="the supervisor respawned both workers"),
+            Invariant(metric="points.0.recovery_seconds_max", op="between",
+                      band=(0.0, 30.0),
+                      note="detection + respawn + replay stays bounded"),
+        ),
+        source="src/repro/bench/multiproc.py",
+        notes="Spawns real worker processes (excluded from the deterministic "
+              "subset); the CI chaos smoke job runs this entry under a hard "
+              "wall-clock timeout.",
+    )
+
+
 def _ablation_lid_batch() -> ScenarioSpec:
     sizes = [100, 1000, 10_000, 50_000]
     return ScenarioSpec(
@@ -627,6 +756,9 @@ CATALOG: Tuple[ScenarioSpec, ...] = (
     _geo_replication_lag(),
     _geo_partition_soak(),
     _flstore_chaos_soak(),
+    _crash_during_partition(),
+    _rolling_maintainer_restart(),
+    _multiproc_crash_recovery(),
     _corfu_ceiling(),
     _ablation_lid_batch(),
     _ablation_gossip_interval(),

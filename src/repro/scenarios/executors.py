@@ -570,6 +570,8 @@ class FunctionalExecutor(Executor):
     ) -> Dict[str, Any]:
         if point.runtime == "aio":
             return self._run_aio(point)
+        if point.runtime == "multiproc":
+            return self._run_multiproc(point, plan)
         return self._run_local(point, plan)
 
     def _deployment_spec(self, point: ScenarioSpec) -> DeploymentSpec:
@@ -599,13 +601,43 @@ class FunctionalExecutor(Executor):
             pipeline_config=point.pipeline_config() if point.pipeline else None,
             flstore_config=point.flstore_config(),
         )
+        supervisor = None
+        if plan is not None and plan.crashes:
+            # Crash events only make sense with someone to restart the
+            # victims; supervise every maintainer from its journal.
+            supervisor = deployment.supervise()
         acks: List[Any] = []
         for dc in point.topology.datacenters:
             client = deployment.client(dc)
             for i in range(work.append_records):
                 client.append(f"{dc}-{i}", on_done=acks.append)
         converged = deployment.settle(max_seconds=work.settle_seconds)
-        return self._functional_metrics(deployment, point, converged, len(acks))
+        metrics = self._functional_metrics(deployment, point, converged, len(acks))
+        if supervisor is not None:
+            metrics["restarts"] = int(sum(supervisor.restarts.values()))
+        return metrics
+
+    def _run_multiproc(
+        self, point: ScenarioSpec, plan: Optional[FaultPlan]
+    ) -> Dict[str, Any]:
+        from ..bench.multiproc import run_deployment_multiproc_chaos
+
+        work = point.workload
+        dcs = list(point.topology.datacenters)
+        out = run_deployment_multiproc_chaos(
+            datacenters=dcs,
+            workers=point.topology.workers,
+            appends=work.append_records * len(dcs),
+            batch_size=work.lid_batch,
+            plan=plan,
+            timeout=work.settle_seconds,
+        )
+        # Reshape to the functional-metrics surface so the shared invariant
+        # paths (records.X / appended / acked / converged) work unchanged;
+        # keep the recovery metrics alongside.
+        out["records"] = out.pop("records_per_dc")
+        out["appended"] = out.pop("appends")
+        return out
 
     def _run_aio(self, point: ScenarioSpec) -> Dict[str, Any]:
         import asyncio
@@ -653,12 +685,19 @@ class FunctionalExecutor(Executor):
     ) -> Dict[str, Any]:
         from ..core import causal_order_respected
 
-        causal_ok = all(
-            causal_order_respected(
-                [entry.record for entry in deployment[dc].all_entries()]
+        causal_ok = True
+        gap_free = True
+        duplicate_free = True
+        for dc in point.topology.datacenters:
+            entries = deployment[dc].all_entries()
+            causal_ok = causal_ok and causal_order_respected(
+                [entry.record for entry in entries]
             )
-            for dc in point.topology.datacenters
-        )
+            lids = [entry.lid for entry in entries]
+            duplicate_free = duplicate_free and len(lids) == len(set(lids))
+            gap_free = gap_free and (
+                not lids or lids == list(range(lids[0], lids[0] + len(lids)))
+            )
         return {
             "records": {
                 dc: deployment[dc].total_records()
@@ -669,6 +708,8 @@ class FunctionalExecutor(Executor):
             "acked": acked,
             "converged": converged,
             "causal_order_ok": causal_ok,
+            "gap_free": gap_free,
+            "duplicate_free": duplicate_free,
         }
 
 

@@ -959,6 +959,84 @@ class TestSwallowRule:
 
 
 # --------------------------------------------------------------------- #
+# CHR014 — blocking socket reads without a deadline
+# --------------------------------------------------------------------- #
+
+
+class TestBlockingSocketRule:
+    def test_bare_recv_in_runtime_fires(self, tmp_path):
+        source = (
+            "def read_frame(sock):\n"
+            "    return sock.recv(4096)\n"
+        )
+        findings = lint(tmp_path, {"runtime/conn.py": source}, select=["CHR014"])
+        assert codes(findings) == ["CHR014"]
+        assert ".recv()" in findings[0].message
+
+    def test_bare_accept_in_net_fires(self, tmp_path):
+        source = (
+            "def wait_for_peer(listener):\n"
+            "    conn, addr = listener.accept()\n"
+            "    return conn\n"
+        )
+        findings = lint(tmp_path, {"net/server.py": source}, select=["CHR014"])
+        assert codes(findings) == ["CHR014"]
+
+    def test_settimeout_in_function_is_clean(self, tmp_path):
+        source = (
+            "def read_frame(sock, timeout):\n"
+            "    sock.settimeout(timeout)\n"
+            "    return sock.recv(4096)\n"
+        )
+        findings = lint(tmp_path, {"runtime/conn.py": source}, select=["CHR014"])
+        assert findings == []
+
+    def test_setblocking_on_owning_class_is_clean(self, tmp_path):
+        source = (
+            "class Conn:\n"
+            "    def __init__(self, sock):\n"
+            "        sock.setblocking(False)\n"
+            "        self.sock = sock\n"
+            "\n"
+            "    def pump(self):\n"
+            "        return self.sock.recv(4096)\n"
+        )
+        findings = lint(tmp_path, {"runtime/conn.py": source}, select=["CHR014"])
+        assert findings == []
+
+    def test_guard_in_sibling_function_does_not_leak(self, tmp_path):
+        source = (
+            "def configure(sock):\n"
+            "    sock.settimeout(5.0)\n"
+            "\n"
+            "def read_frame(sock):\n"
+            "    return sock.recv(4096)\n"
+        )
+        findings = lint(tmp_path, {"runtime/conn.py": source}, select=["CHR014"])
+        assert codes(findings) == ["CHR014"]
+
+    def test_noqa_names_the_invariant(self, tmp_path):
+        source = (
+            "def read_frame(sock):\n"
+            "    return sock.recv(4096)  # chariots: noqa=CHR014\n"
+        )
+        findings = lint(tmp_path, {"runtime/conn.py": source}, select=["CHR014"])
+        assert findings == []
+
+    def test_outside_socket_packages_is_clean(self, tmp_path):
+        source = (
+            "def read_frame(sock):\n"
+            "    return sock.recv(4096)\n"
+        )
+        findings = lint(tmp_path, {"bench/probe.py": source}, select=["CHR014"])
+        assert findings == []
+
+    def test_shipped_tree_is_baseline_free_for_chr014(self):
+        findings = run_rules(scan([REPO_ROOT / "src"]), select=["CHR014"])
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
 # The project model and message-flow graph
 # --------------------------------------------------------------------- #
 

@@ -12,7 +12,14 @@ import random
 
 import pytest
 
-from repro.chaos import CrashEvent, FaultPlan, FaultRule, NetChaos, PartitionEvent
+from repro.chaos import (
+    CrashEvent,
+    FaultPlan,
+    FaultRule,
+    KillEvent,
+    NetChaos,
+    PartitionEvent,
+)
 from repro.chariots import AbstractDeployment, ChariotsDeployment
 from repro.core import PipelineConfig, causal_order_respected
 from repro.core.errors import ConfigurationError
@@ -138,6 +145,7 @@ class TestFaultPlan:
             .duplicate(probability=0.2, delay=0.03)
             .reorder(dst="B/", delay=0.05, max_count=10)
             .crash("A/store/0", at=1.0)
+            .kill("A/batcher/0", at=0.5)
             .partition("C/", "A/", start=2.0, end=5.0)
         )
         data = plan.to_dict()
@@ -145,6 +153,7 @@ class TestFaultPlan:
         assert restored.to_dict() == data
         assert restored.seed == 7
         assert restored.crashes == [CrashEvent("A/store/0", 1.0)]
+        assert restored.kills == [KillEvent("A/batcher/0", 0.5)]
         assert restored.partitions == [PartitionEvent("C/", "A/", 2.0, 5.0)]
 
 

@@ -1,6 +1,7 @@
 """Durability and crash recovery (repro.flstore.journal)."""
 
 import os
+import pickle
 
 
 from repro.flstore import (
@@ -134,6 +135,74 @@ class TestFileJournal:
         journal.close()
         assert recovered.stored_count() == 0
         assert recovered.next_unassigned == 0
+
+    def test_pickle_round_trip_keeps_writing_to_the_same_file(self, tmp_path):
+        """The supervision contract: a FileJournal shipped to a worker
+        process (pickled) reopens its file in append mode, and the parent's
+        replay of that same path sees every worker-side write — each entry
+        is flushed as it lands."""
+        path = os.path.join(tmp_path, "shipped.journal")
+        plan = make_plan()
+        journal = FileJournal(path)
+        core = MaintainerCore("m0", plan, journal=journal)
+        core.append(chain("c", 2))
+
+        shipped = pickle.loads(pickle.dumps(journal))  # the worker's copy
+        worker_core = recover_maintainer_core("m0", plan, journal.replay())
+        worker_core.set_journal(shipped)
+        worker_core.append(chain("d", 3))
+
+        parent_view = FileJournal(path)
+        lids = [lid for lid, _ in parent_view.replay()]
+        parent_view.close()
+        shipped.close()
+        journal.close()
+        assert lids == [0, 1, 2, 3, 4]
+
+    def test_crash_after_partial_bulk_append_loses_and_duplicates_nothing(
+        self, tmp_path
+    ):
+        """Crash mid-bulk: some placements of a batch hit the journal, the
+        rest die with the process.  Recovery must keep every journaled LId
+        exactly once and resume assignment past them — re-appending the
+        batch's tail produces a dense, duplicate-free sequence."""
+        path = os.path.join(tmp_path, "partial.journal")
+        plan = make_plan(n=1, batch=5)  # sole owner: its LIds are dense
+        journal = FileJournal(path)
+        core = MaintainerCore("m0", plan, journal=journal)
+        batch = chain("c", 8)
+        core.append(batch[:5])  # the bulk append "crashes" after 5 of 8
+        journal.close()  # SIGKILL: nothing after this line survived
+
+        restored = FileJournal(path)
+        recovered = recover_maintainer_core("m0", plan, restored.replay())
+        recovered.set_journal(restored)
+        survived = [e.lid for e in recovered.stored_entries()]
+        recovered.append(batch[5:])  # the client retries the lost tail
+        lids = [e.lid for e in recovered.stored_entries()]
+        restored.close()
+        assert survived == [0, 1, 2, 3, 4]
+        assert len(lids) == len(set(lids)) == 8
+        assert lids == list(range(lids[0], lids[0] + len(lids)))
+
+    def test_restart_replays_from_the_original_journal_object(self, tmp_path):
+        """Reusing the crashed maintainer's own journal for recovery: replay
+        with ``new_journal=None`` and attach it afterwards, the discipline
+        ``ChariotsDeployment.recover_maintainer`` follows (feeding a journal
+        its own replay would loop it back into itself)."""
+        path = os.path.join(tmp_path, "reuse.journal")
+        plan = make_plan(n=1)
+        journal = FileJournal(path)
+        core = MaintainerCore("m0", plan, journal=journal)
+        core.append(chain("c", 4))
+
+        recovered = recover_maintainer_core("m0", plan, journal.replay())
+        recovered.set_journal(journal)
+        recovered.append(chain("d", 2))
+        lids = [lid for lid, _ in journal.replay()]
+        journal.close()
+        assert lids == [0, 1, 2, 3, 4, 5]
+        assert len(lids) == len(set(lids))
 
     def test_tags_survive_the_disk_round_trip(self, tmp_path):
         path = os.path.join(tmp_path, "tags.journal")

@@ -1,0 +1,264 @@
+"""Fault tolerance of the multi-process runtime.
+
+Fast units cover the sequenced envelope, :class:`ProcChaos` decisions,
+``FaultPlan.kill`` round-trips, and the chaos placement helper.  The
+``-m slow`` variants SIGKILL real worker processes mid-run — one pipeline
+stage worker and one maintainer worker — and require the recovered output
+to be *identical* to a fault-free simulation: same record sets, same
+per-host total orders, no lost or duplicated LIds.
+"""
+
+import tempfile
+
+import pytest
+
+from repro.chariots import ChariotsDeployment
+from repro.chaos import FaultPlan, KillEvent, ProcChaos
+from repro.chaos.procchaos import DELAY, DROP, PASS
+from repro.core.errors import ConfigurationError
+from repro.bench.multiproc import (
+    pipeline_placement,
+    run_deployment_multiproc_chaos,
+)
+from repro.runtime.multiproc import (
+    _envelope,
+    _parse_envelope,
+    MultiprocRuntime,
+)
+from repro.runtime.supervisor import ProcessSupervisor
+
+from test_multiproc import DCS, WORKLOAD, _extract, run_workload_on_sim
+
+
+# --------------------------------------------------------------------- #
+# Envelope sequencing
+# --------------------------------------------------------------------- #
+
+
+class TestEnvelopeSeq:
+    def test_seq_round_trips(self):
+        frame = _envelope(0, "A/filter/0", "A/queue/0", b"payload", seq=7)
+        kind, seq, src, dst, payload = _parse_envelope(memoryview(frame)[4:])
+        assert (kind, seq, src, dst) == (0, 7, "A/filter/0", "A/queue/0")
+        assert bytes(payload) == b"payload"
+
+    def test_default_seq_is_unsequenced_zero(self):
+        frame = _envelope(1, "parent", "worker", b"")
+        _, seq, _, _, _ = _parse_envelope(memoryview(frame)[4:])
+        assert seq == 0
+
+    def test_seq_survives_large_values(self):
+        frame = _envelope(2, "s", "d", b"x", seq=0xFFFF_FFFF)
+        _, seq, _, _, _ = _parse_envelope(memoryview(frame)[4:])
+        assert seq == 0xFFFF_FFFF
+
+
+# --------------------------------------------------------------------- #
+# ProcChaos decisions
+# --------------------------------------------------------------------- #
+
+
+class TestProcChaos:
+    def test_same_seed_same_decisions(self):
+        kwargs = dict(seed=11, drop_probability=0.3, delay_probability=0.3)
+        first = [ProcChaos(**kwargs).decide_frame() for _ in range(1)]
+        a, b = ProcChaos(**kwargs), ProcChaos(**kwargs)
+        assert [a.decide_frame() for _ in range(200)] == [
+            b.decide_frame() for _ in range(200)
+        ]
+        assert first  # keep the single-draw smoke visible
+
+    def test_zero_probabilities_always_pass(self):
+        chaos = ProcChaos(seed=1)
+        assert all(chaos.decide_frame() == (PASS, 0.0) for _ in range(50))
+        assert chaos.stats["frames_dropped"] == 0
+
+    def test_decisions_update_stats_and_bound_delay(self):
+        chaos = ProcChaos(seed=3, drop_probability=0.5, delay_probability=0.5)
+        for _ in range(200):
+            action, delay = chaos.decide_frame()
+            assert action in (PASS, DROP, DELAY)
+            assert 0.0 <= delay <= chaos.max_delay
+        assert chaos.stats["frames_dropped"] > 0
+        assert chaos.stats["frames_delayed"] > 0
+
+    def test_max_faults_caps_injections(self):
+        chaos = ProcChaos(seed=5, drop_probability=1.0, max_faults=3)
+        decisions = [chaos.decide_frame() for _ in range(10)]
+        assert decisions[:3] == [(DROP, 0.0)] * 3
+        assert decisions[3:] == [(PASS, 0.0)] * 7
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError, match="drop_probability"):
+            ProcChaos(drop_probability=1.5)
+        with pytest.raises(ConfigurationError, match="max_delay"):
+            ProcChaos(max_delay=-0.1)
+
+    def test_from_plan_carries_kills_and_seed(self):
+        plan = FaultPlan(seed=42).kill("A/store/0", 0.3).kill(1, 0.6)
+        chaos = ProcChaos.from_plan(plan, drop_probability=0.1)
+        assert chaos.seed == 42
+        assert chaos.kill_schedule() == [("A/store/0", 0.3), (1, 0.6)]
+        assert chaos.drop_probability == 0.1
+
+
+# --------------------------------------------------------------------- #
+# FaultPlan.kill round-trip
+# --------------------------------------------------------------------- #
+
+
+class TestKillPlanRoundTrip:
+    def test_kill_round_trips_through_dict(self):
+        plan = FaultPlan(seed=9).kill("B/batcher/0", 0.25).kill(2, 1.5)
+        data = plan.to_dict()
+        assert data["kills"] == [
+            {"worker": "B/batcher/0", "at": 0.25},
+            {"worker": 2, "at": 1.5},
+        ]
+        restored = FaultPlan.from_dict(data)
+        assert restored.kills == [KillEvent("B/batcher/0", 0.25), KillEvent(2, 1.5)]
+        assert restored.to_dict() == data
+
+    def test_empty_plan_round_trips(self):
+        data = FaultPlan().to_dict()
+        assert data["kills"] == []
+        assert FaultPlan.from_dict(data).kills == []
+
+
+# --------------------------------------------------------------------- #
+# Chaos placement
+# --------------------------------------------------------------------- #
+
+
+class TestPipelinePlacement:
+    def test_stages_and_maintainers_split_per_datacenter(self):
+        placement = pipeline_placement(["A", "B"], 4)
+        assert placement("A/batcher/0", 4) == 0
+        assert placement("A/filter/0", 4) == 0
+        assert placement("A/sender/B", 4) == 0
+        assert placement("A/store/0", 4) == 1
+        assert placement("A/indexer/0", 4) == 1
+        assert placement("B/queue/0", 4) == 2
+        assert placement("B/store/1", 4) == 3
+
+    def test_control_plane_stays_in_parent(self):
+        placement = pipeline_placement(["A", "B"], 4)
+        assert placement("A/client/0", 4) is None
+        assert placement("A/controller", 4) is None
+        assert placement("supervisor", 4) is None
+
+    def test_zero_workers_places_everything_in_parent(self):
+        placement = pipeline_placement(["A"], 0)
+        assert placement("A/store/0", 0) is None
+
+
+# --------------------------------------------------------------------- #
+# The acceptance bar: SIGKILL two workers, output identical to sim
+# --------------------------------------------------------------------- #
+
+
+def run_workload_on_multiproc_with_kills(kills, journal_dir):
+    """The WORKLOAD of tests.test_multiproc, under supervision and kills."""
+    plan = FaultPlan(seed=7)
+    for worker, at in kills:
+        plan.kill(worker, at)
+    chaos = ProcChaos.from_plan(plan)
+    runtime = MultiprocRuntime(
+        workers=4, placement=pipeline_placement(DCS, 4), chaos=chaos
+    )
+    try:
+        deployment = ChariotsDeployment(runtime, DCS, batch_size=8)
+        supervisor = ProcessSupervisor()
+        deployment.supervise(supervisor, journal_dir=journal_dir)
+        runtime.start()
+        clients = {dc: deployment.client(dc) for dc in DCS}
+        acks = []
+        for dc, payload in WORKLOAD:
+            clients[dc].append(payload, on_done=acks.append)
+        runtime.run_until(lambda: len(acks) == len(WORKLOAD), timeout=120)
+        runtime.run_until(
+            lambda: chaos.stats["workers_killed"] >= len(kills), timeout=120
+        )
+        runtime.run_until(
+            lambda: len(supervisor.recoveries) >= len(kills), timeout=120
+        )
+        assert runtime.settle(
+            lambda: deployment.converged() and deployment._pipelines_drained(),
+            max_seconds=120,
+        )
+        return _extract(deployment), supervisor, dict(runtime.loss_accounting)
+    finally:
+        runtime.stop()
+
+
+@pytest.mark.slow
+class TestCrashRecoveryEquivalence:
+    def test_killed_stage_and_maintainer_workers_match_fault_free_sim(self):
+        """Kill one pipeline-stage worker (A's batcher/filter/queue) and one
+        maintainer worker (A's stores) mid-run; the recovered deployment
+        must produce byte-for-byte the fault-free sim outcome."""
+        sim_sets, sim_orders = run_workload_on_sim()
+        with tempfile.TemporaryDirectory() as journal_dir:
+            (mp_sets, mp_orders), supervisor, loss = (
+                run_workload_on_multiproc_with_kills(
+                    [("A/batcher/0", 0.15), ("A/store/0", 0.3)], journal_dir
+                )
+            )
+        assert mp_sets == sim_sets
+        assert mp_orders == sim_orders
+        assert len(supervisor.recoveries) >= 2
+        for recovery in supervisor.recoveries:
+            assert recovery["seconds"] < 30.0
+        assert loss == {}
+
+    def test_bench_harness_reports_recovery_metrics(self):
+        plan = FaultPlan(seed=3).kill("A/batcher/0", 0.15).kill("A/store/0", 0.3)
+        out = run_deployment_multiproc_chaos(
+            datacenters=DCS, workers=4, appends=24, batch_size=8, plan=plan
+        )
+        assert out["converged"]
+        assert out["acked"] == out["appends"] == 24
+        assert out["gap_free"] and out["duplicate_free"]
+        assert out["causal_order_ok"]
+        assert out["records_per_dc"]["A"] == out["records_per_dc"]["B"] == 24
+        assert out["workers_killed"] == 2
+        assert out["recoveries"] >= 2
+        assert 0.0 < out["recovery_seconds_max"] < 30.0
+        assert out["loss_accounting"] == {}
+
+
+@pytest.mark.slow
+class TestPlannedRestart:
+    def test_drain_then_restart_loses_nothing(self):
+        """The elasticity path: a planned, drained restart of the maintainer
+        worker mid-workload neither loses records nor times out the drain."""
+        sim_sets, sim_orders = run_workload_on_sim()
+        runtime = MultiprocRuntime(
+            workers=4, placement=pipeline_placement(DCS, 4)
+        )
+        with tempfile.TemporaryDirectory() as journal_dir:
+            try:
+                deployment = ChariotsDeployment(runtime, DCS, batch_size=8)
+                supervisor = ProcessSupervisor()
+                deployment.supervise(supervisor, journal_dir=journal_dir)
+                runtime.start()
+                clients = {dc: deployment.client(dc) for dc in DCS}
+                acks = []
+                for dc, payload in WORKLOAD:
+                    clients[dc].append(payload, on_done=acks.append)
+                runtime.run_until(
+                    lambda: len(acks) == len(WORKLOAD), timeout=120
+                )
+                drained = runtime.restart_worker(1, drain=True)
+                assert drained
+                assert runtime.settle(
+                    lambda: deployment.converged()
+                    and deployment._pipelines_drained(),
+                    max_seconds=120,
+                )
+                assert _extract(deployment) == (sim_sets, sim_orders)
+                assert supervisor.recoveries
+                assert supervisor.recoveries[-1]["reason"] == "planned restart"
+                assert runtime.loss_accounting.get("drain_timeouts", 0) == 0
+            finally:
+                runtime.stop()

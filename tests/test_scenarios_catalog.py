@@ -30,6 +30,8 @@ _QUICK = {
     "geo-replication-lag",
     "geo-partition-soak",
     "flstore-chaos-soak",
+    "crash-during-partition",
+    "rolling-maintainer-restart",
     "functional-convergence-local",
     "pipeline-baseline",
     "micro-hotpaths",
@@ -100,8 +102,8 @@ def test_deterministic_selection_excludes_aio():
 
 
 def test_runtime_selection():
-    multiproc = select(runtime="multiproc")
-    assert [spec.name for spec in multiproc] == ["pipeline-multiproc"]
+    multiproc = {spec.name for spec in select(runtime="multiproc")}
+    assert multiproc == {"pipeline-multiproc", "multiproc-crash-recovery"}
     assert all(spec.runtime == "sim" for spec in select(runtime="sim"))
 
 

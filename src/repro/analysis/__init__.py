@@ -25,18 +25,29 @@ CHR012    orphan-message               no unroutable constructions, no dead
                                        codec registrations
 CHR013    swallowed-exception          pipeline stages never silently drop a
                                        broad exception
+CHR014    socket-no-timeout            socket recv/accept in runtime/ and
+                                       net/ always run under a deadline
+CHR015    reply-shape                  RPC reply keys emitted ↔ read agree
+                                       per request type, both directions
+CHR016    supervisor-protocol          sequenced emissions get ack/trimmed;
+                                       detected worker deaths reach a
+                                       respawn-or-park terminal
+CHR017    dead-noqa                    every noqa directive still suppresses
+                                       something (full runs only)
 ========  ===========================  =====================================
 
-CHR001/CHR002 and CHR009–CHR013 read a shared, memoised whole-project model
-(message-flow graph + interprocedural dataflow; see
+CHR001/CHR002 and CHR009–CHR016 read a shared, memoised whole-project model
+(message-flow graph + bounded multi-hop interprocedural dataflow; see
 :mod:`repro.analysis.model` and :mod:`repro.analysis.dataflow`), which
 ``--graph {json,dot}`` dumps for docs and debugging.
 
 Suppression: ``# chariots: noqa=CHR003`` on the offending line (comma list
 or bare ``noqa`` for all codes); CHR009 additionally accepts a structured
-``# chariots: bounded-by=<invariant>`` declaration.  Legacy debt lives in a
-committed baseline file (``--baseline``); see docs/ANALYSIS.md for the
-workflow.
+``# chariots: bounded-by=<invariant>`` declaration.  Directives only count
+inside real comments (tokenized, not regex-over-lines), and CHR017 flags any
+directive that no longer suppresses a finding.  Legacy debt lives in a
+committed baseline file (``--baseline``) — currently empty, and CI fails if
+it grows; see docs/ANALYSIS.md for the workflow.
 
 The package is pure stdlib and never imports the code it scans, so it runs
 identically on the real tree and on synthetic fixtures in the tests.

@@ -11,7 +11,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from .baseline import apply_baseline, load_baseline, write_baseline
 from .findings import Finding
@@ -19,6 +19,7 @@ from .model import build_model
 from .noqa import is_suppressed
 from .project import ProjectInfo, scan
 from .rules import ALL_RULES, rules_by_code
+from .rules.noqa_audit import DeadNoqaRule
 
 
 def run_rules(
@@ -34,14 +35,23 @@ def run_rules(
     else:
         codes = sorted(table)
     noqa_by_path = {m.relpath: m.noqa for m in project}
+    # relpath -> noqa lines that suppressed at least one finding; feeds the
+    # CHR017 dead-directive audit below.
+    matched: Dict[str, Set[int]] = {}
     findings: List[Finding] = []
     for code in codes:
         rule = table[code]()
         for finding in rule.check(project):
             noqa = noqa_by_path.get(finding.path, {})
             if is_suppressed(noqa, finding.line, finding.code):
+                matched.setdefault(finding.path, set()).add(finding.line)
                 continue
             findings.append(finding)
+    if select is None:
+        # Only a full run can tell a dead directive from an out-of-scope one.
+        # CHR017 findings deliberately bypass noqa filtering: a dead directive
+        # must not be able to suppress its own report.
+        findings.extend(DeadNoqaRule().audit_directives(project, matched))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code, f.message))
     return findings
 

@@ -6,9 +6,10 @@ Two cross-method facts power the concurrency rules:
   closure, so CHR009 can tell whether a buffer-appending helper is reachable
   from the ``on_message`` hot path;
 * an **execution-ordered event stream** per method — attribute reads/writes
-  on ``self``, ``await`` points, and lock-guarded regions — with one-level
-  splicing of same-class ``self.m()`` calls, so CHR010 can spot the
-  read-before-await / write-after-await race shape across helper boundaries.
+  on ``self``, ``await`` points, and lock-guarded regions — with bounded
+  multi-hop splicing of same-class ``self.m()`` calls (depth-limited, cycle
+  safe), so CHR010 can spot the read-before-await / write-after-await race
+  shape across several helper boundaries.
 
 The event walk is deliberately lexical (no path sensitivity): branches and
 loops are traversed in source order.  That over-approximates interleavings,
@@ -20,7 +21,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set, Union
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Union
 
 AnyFunc = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
@@ -217,24 +218,45 @@ def method_events(func: AnyFunc, method_names: Iterable[str]) -> List[Event]:
     return walker.events
 
 
+#: Default splice depth: a hot path that hides shared-state access more than
+#: three ``self.helper()`` hops deep is beyond what the lexical walk can
+#: attribute meaningfully (and the real tree never nests deeper).
+EXPAND_DEPTH = 3
+
+
 def expand_events(
-    events: List[Event], summaries: Dict[str, List[Event]]
+    events: List[Event],
+    summaries: Dict[str, List[Event]],
+    depth: int = EXPAND_DEPTH,
+    exclude: FrozenSet[str] = frozenset(),
 ) -> List[Event]:
-    """Splice same-class callee event lists in, one level deep.
+    """Splice same-class callee event lists in, up to ``depth`` levels deep.
 
     The callee's events are inserted verbatim at the call site (preserving
     their internal order, which matters: a helper that writes *before* its
-    await must not look like it writes after).  Nested ``call`` placeholders
-    inside the spliced events are dropped rather than recursed into.
+    await must not look like it writes after).  ``call`` placeholders inside
+    spliced events are expanded recursively until ``depth`` is exhausted;
+    placeholders left at the frontier are dropped.  ``exclude`` carries the
+    splice stack for cycle detection — a callee already being expanded on the
+    current chain (direct or mutual recursion) is not re-entered, so the walk
+    terminates on any call graph.  Pass ``depth=1`` for the historical
+    one-level behaviour.
     """
     result: List[Event] = []
     for event in events:
         if event.kind != CALL:
             result.append(event)
             continue
-        for inner in summaries.get(event.attr, ()):
-            if inner.kind == CALL:
-                continue
+        callee = event.attr
+        if depth <= 0 or callee in exclude:
+            continue
+        inner_events = expand_events(
+            summaries.get(callee, []),
+            summaries,
+            depth - 1,
+            exclude | {callee},
+        )
+        for inner in inner_events:
             result.append(
                 Event(
                     inner.kind,
@@ -273,4 +295,28 @@ def reachable_from(graph: Dict[str, Set[str]], roots: Iterable[str]) -> Set[str]
             continue
         seen.add(name)
         stack.extend(graph.get(name, ()) - seen)
+    return seen
+
+
+def reachable_within(
+    graph: Dict[str, Set[str]], roots: Iterable[str], depth: int = EXPAND_DEPTH
+) -> Set[str]:
+    """Methods reachable from ``roots`` in at most ``depth`` call edges.
+
+    Breadth-first with an explicit hop bound (roots are depth 0 and always
+    included when present in ``graph``); cycles are harmless because each
+    method is visited at its first, shortest distance.
+    """
+    seen: Set[str] = {root for root in roots if root in graph}
+    frontier: List[str] = sorted(seen)
+    for _hop in range(depth):
+        next_frontier: List[str] = []
+        for name in frontier:
+            for callee in sorted(graph.get(name, ())):
+                if callee not in seen:
+                    seen.add(callee)
+                    next_frontier.append(callee)
+        if not next_frontier:
+            break
+        frontier = next_frontier
     return seen

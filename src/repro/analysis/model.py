@@ -13,7 +13,13 @@ same facts:
 * **construction sites** — every ``SomeMessage(...)`` call in the tree;
 * **dict-request flow** — the ``{"type": ...}`` request surface of the
   ``net/`` layer: which type strings clients send and which ones server
-  ``handle()``/``_serve()`` methods dispatch on.
+  ``handle()``/``_serve()`` methods dispatch on;
+* **reply shapes** — per request-type branch in a handler, the keys of every
+  reply dict literal it returns (or ships via ``write_frame``), and per
+  client call site, the reply keys the caller actually reads — subscripts
+  (``response["results"]``, a ``KeyError`` if the server drops the key) kept
+  separate from tolerant ``response.get(...)`` reads.  CHR015 checks the two
+  ends against each other.
 
 The model is built once per scan and cached on
 :attr:`ProjectInfo.model_cache`; rules obtain it via :func:`build_model`.
@@ -25,7 +31,7 @@ from __future__ import annotations
 import ast
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from .project import ModuleInfo, ProjectInfo
 
@@ -39,6 +45,11 @@ SEND_FUNCS = frozenset({"request", "_request", "write_frame", "_send_oneway"})
 
 #: Method names whose bodies dispatch incoming request dicts.
 HANDLER_METHODS = frozenset({"handle", "_serve"})
+
+#: Callees that read one reply frame off a connection; an assignment from
+#: one of these inside a function that sends exactly one request type is
+#: that type's reply (the manual send-then-read pattern hello uses).
+READ_FUNCS = frozenset({"read_frame", "read_frame_fmt"})
 
 
 def terminal_name(node: ast.AST) -> Optional[str]:
@@ -140,6 +151,19 @@ class ProjectModel:
     #: whether the scanned tree contains any request-handler method at all
     #: (partial scans without servers must not trip the flow rules).
     has_request_handlers: bool = False
+    #: request type -> reply key -> handler emit sites (dict literals only).
+    reply_keys: Dict[str, Dict[str, List[Site]]] = field(default_factory=dict)
+    #: reply keys emitted outside any request-type branch (error fallbacks);
+    #: these apply to every request type.
+    reply_generic: Set[str] = field(default_factory=set)
+    #: request types whose reply shape can't be known statically (a handler
+    #: branch returns something other than a dict literal).
+    reply_opaque: Set[str] = field(default_factory=set)
+    #: request type -> reply key -> client subscript-read sites (KeyError on
+    #: a missing key).
+    reply_reads: Dict[str, Dict[str, List[Site]]] = field(default_factory=dict)
+    #: request type -> reply keys read tolerantly via ``.get(...)``.
+    reply_soft_reads: Dict[str, Set[str]] = field(default_factory=dict)
 
     @property
     def registered_names(self) -> Set[str]:
@@ -188,9 +212,15 @@ class ProjectModel:
             }
         requests = {}
         for kind in sorted(set(self.request_sent) | set(self.request_handled)):
+            read = set(self.reply_reads.get(kind, {})) | self.reply_soft_reads.get(
+                kind, set()
+            )
             requests[kind] = {
                 "sent_from": sites(self.request_sent.get(kind, [])),
                 "handled_in": sites(self.request_handled.get(kind, [])),
+                "reply_keys": sorted(self.reply_keys.get(kind, {})),
+                "reply_reads": sorted(read),
+                "reply_opaque": kind in self.reply_opaque,
             }
         return {"version": 1, "messages": messages, "requests": requests}
 
@@ -381,6 +411,44 @@ def _is_type_key_expr(node: ast.AST, aliases: Set[str]) -> bool:
     return False
 
 
+def _type_aliases(func: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> Set[str]:
+    """Names bound from the type key: ``kind = request["type"]``."""
+    aliases: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and _is_type_key_expr(node.value, set()):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    aliases.add(target.id)
+    return aliases
+
+
+def _compare_types(
+    node: ast.Compare,
+    aliases: Set[str],
+    local_consts: Dict[str, str],
+    global_consts: Dict[str, str],
+) -> List[str]:
+    """Type strings one comparison tests the request type against."""
+    operands = [node.left, *node.comparators]
+    if not any(_is_type_key_expr(op, aliases) for op in operands):
+        return []
+    results: List[str] = []
+    for op, comparator in zip(node.ops, node.comparators):
+        if isinstance(op, (ast.Eq, ast.NotEq)):
+            for side in (node.left, comparator):
+                value = _resolve_string(side, local_consts, global_consts)
+                if value is not None:
+                    results.append(value)
+        elif isinstance(op, ast.In) and isinstance(
+            comparator, (ast.Tuple, ast.List, ast.Set)
+        ):
+            for element in comparator.elts:
+                value = _resolve_string(element, local_consts, global_consts)
+                if value is not None:
+                    results.append(value)
+    return results
+
+
 def _handler_compares(
     func: Union[ast.FunctionDef, ast.AsyncFunctionDef],
     local_consts: Dict[str, str],
@@ -388,33 +456,45 @@ def _handler_compares(
 ) -> List[Tuple[str, int, int]]:
     """(type string, line, col) for every request-type comparison in a handler."""
     # Aliases: ``kind = request["type"]`` makes later ``kind == "x"`` count.
-    aliases: Set[str] = set()
-    for node in ast.walk(func):
-        if isinstance(node, ast.Assign) and _is_type_key_expr(node.value, set()):
-            for target in node.targets:
-                if isinstance(target, ast.Name):
-                    aliases.add(target.id)
+    aliases = _type_aliases(func)
     results: List[Tuple[str, int, int]] = []
     for node in ast.walk(func):
         if not isinstance(node, ast.Compare):
             continue
-        operands = [node.left, *node.comparators]
-        if not any(_is_type_key_expr(op, aliases) for op in operands):
-            continue
-        for op, comparator in zip(node.ops, node.comparators):
-            if isinstance(op, (ast.Eq, ast.NotEq)):
-                for side in (node.left, comparator):
-                    value = _resolve_string(side, local_consts, global_consts)
-                    if value is not None:
-                        results.append((value, node.lineno, node.col_offset))
-            elif isinstance(op, ast.In) and isinstance(
-                comparator, (ast.Tuple, ast.List, ast.Set)
-            ):
-                for element in comparator.elts:
-                    value = _resolve_string(element, local_consts, global_consts)
-                    if value is not None:
-                        results.append((value, node.lineno, node.col_offset))
+        for value in _compare_types(node, aliases, local_consts, global_consts):
+            results.append((value, node.lineno, node.col_offset))
     return results
+
+
+def _dict_type(
+    node: ast.AST,
+    local_consts: Dict[str, str],
+    global_consts: Dict[str, str],
+) -> Optional[str]:
+    """The resolved ``"type"`` value of a request dict literal, if any."""
+    if not isinstance(node, ast.Dict):
+        return None
+    for key, value in zip(node.keys, node.values):
+        if isinstance(key, ast.Constant) and key.value == "type":
+            return _resolve_string(value, local_consts, global_consts)
+    return None
+
+
+def _send_var_types(
+    func: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+    local_consts: Dict[str, str],
+    global_consts: Dict[str, str],
+) -> Dict[str, str]:
+    """``message = {"type": "gossip", ...}`` bindings, by variable name."""
+    var_types: Dict[str, str] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            kind = _dict_type(node.value, local_consts, global_consts)
+            if kind is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        var_types[target.id] = kind
+    return var_types
 
 
 def _send_sites(
@@ -423,24 +503,7 @@ def _send_sites(
     global_consts: Dict[str, str],
 ) -> List[Tuple[str, int, int]]:
     """(type string, line, col) for request dicts shipped via a send call."""
-
-    def dict_type(node: ast.AST) -> Optional[str]:
-        if not isinstance(node, ast.Dict):
-            return None
-        for key, value in zip(node.keys, node.values):
-            if isinstance(key, ast.Constant) and key.value == "type":
-                return _resolve_string(value, local_consts, global_consts)
-        return None
-
-    # ``message = {"type": "gossip", ...}`` then ``write_frame(w, message)``.
-    var_types: Dict[str, str] = {}
-    for node in ast.walk(func):
-        if isinstance(node, ast.Assign):
-            kind = dict_type(node.value)
-            if kind is not None:
-                for target in node.targets:
-                    if isinstance(target, ast.Name):
-                        var_types[target.id] = kind
+    var_types = _send_var_types(func, local_consts, global_consts)
     results: List[Tuple[str, int, int]] = []
     for node in ast.walk(func):
         if not isinstance(node, ast.Call):
@@ -448,12 +511,185 @@ def _send_sites(
         if terminal_name(node.func) not in SEND_FUNCS:
             continue
         for arg in node.args:
-            kind = dict_type(arg)
+            kind = _dict_type(arg, local_consts, global_consts)
             if kind is None and isinstance(arg, ast.Name):
                 kind = var_types.get(arg.id)
             if kind is not None:
                 results.append((kind, node.lineno, node.col_offset))
     return results
+
+
+#: Sentinel for "a reply was emitted here but its keys are unknowable".
+_OPAQUE = frozenset({"\x00opaque"})
+
+
+def _reply_shapes(
+    func: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+    local_consts: Dict[str, str],
+    global_consts: Dict[str, str],
+) -> List[Tuple[Optional[Tuple[str, ...]], FrozenSet[str], int, int]]:
+    """Reply emissions in a handler: (branch types, keys, line, col).
+
+    ``types`` is the request-type strings of the innermost enclosing
+    ``if``-branch that tests the type key (``None`` for emissions outside
+    any branch — error fallbacks that apply to every type).  ``keys`` is the
+    reply dict literal's key set, or the ``_OPAQUE`` sentinel when the reply
+    isn't a dict literal with constant string keys.  ``return None`` and bare
+    ``return`` are one-way paths and produce no entry.
+    """
+    aliases = _type_aliases(func)
+    out: List[Tuple[Optional[Tuple[str, ...]], FrozenSet[str], int, int]] = []
+
+    def emit(value: ast.expr, types: Optional[Tuple[str, ...]], node: ast.AST) -> None:
+        if isinstance(value, ast.Constant) and value.value is None:
+            return  # one-way: no reply frame
+        if isinstance(value, ast.Dict) and all(
+            isinstance(k, ast.Constant) and isinstance(k.value, str)
+            for k in value.keys
+        ):
+            keys = frozenset(k.value for k in value.keys if isinstance(k, ast.Constant))
+        else:
+            keys = _OPAQUE
+        out.append((types, keys, node.lineno, node.col_offset))
+
+    def test_types(test: ast.expr) -> List[str]:
+        found: List[str] = []
+        for node in ast.walk(test):
+            if isinstance(node, ast.Compare):
+                found.extend(
+                    _compare_types(node, aliases, local_consts, global_consts)
+                )
+        return found
+
+    def scan_calls(stmt: ast.stmt, types: Optional[Tuple[str, ...]]) -> None:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and terminal_name(node.func) == "write_frame":
+                for arg in node.args:
+                    if isinstance(arg, ast.Dict):
+                        emit(arg, types, node)
+
+    def visit(body: List[ast.stmt], types: Optional[Tuple[str, ...]]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.If):
+                scan_calls(stmt.test, types)  # write_frame in a test: unlikely
+                branch = test_types(stmt.test)
+                visit(stmt.body, tuple(branch) if branch else types)
+                visit(stmt.orelse, types)
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    emit(stmt.value, types, stmt)
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                visit(stmt.body, types)
+                visit(stmt.orelse, types)
+            elif isinstance(stmt, ast.Try):
+                visit(stmt.body, types)
+                for handler in stmt.handlers:
+                    visit(handler.body, types)
+                visit(stmt.orelse, types)
+                visit(stmt.finalbody, types)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                visit(stmt.body, types)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scope: not this handler's replies
+            else:
+                scan_calls(stmt, types)
+
+    visit(func.body, None)
+    return out
+
+
+def _reply_read_sites(
+    func: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+    local_consts: Dict[str, str],
+    global_consts: Dict[str, str],
+) -> List[Tuple[str, str, bool, int, int]]:
+    """Reply-key reads at client call sites: (type, key, hard, line, col).
+
+    A variable assigned from a send call whose request dict carries a
+    literal ``"type"`` is that type's reply (``response = await
+    self._request(conn, {"type": "head"})``).  When a function sends exactly
+    one literal type and reads replies manually (``resp = await
+    read_frame(reader)``), those variables are that type's reply too.
+    Subscript reads are *hard* (a dropped key is a ``KeyError``);
+    ``.get(...)`` reads are tolerant.
+    """
+    var_types = _send_var_types(func, local_consts, global_consts)
+
+    def call_send_type(value: ast.expr) -> Optional[str]:
+        for node in ast.walk(value):
+            if not isinstance(node, ast.Call):
+                continue
+            if terminal_name(node.func) not in SEND_FUNCS:
+                continue
+            for arg in node.args:
+                kind = _dict_type(arg, local_consts, global_consts)
+                if kind is None and isinstance(arg, ast.Name):
+                    kind = var_types.get(arg.id)
+                if kind is not None:
+                    return kind
+        return None
+
+    def is_read_call(value: ast.expr) -> bool:
+        return any(
+            isinstance(node, ast.Call) and terminal_name(node.func) in READ_FUNCS
+            for node in ast.walk(value)
+        )
+
+    sent_types = {kind for kind, _l, _c in _send_sites(func, local_consts, global_consts)}
+    sole_type = next(iter(sent_types)) if len(sent_types) == 1 else None
+
+    reply_vars: Dict[str, str] = {}
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        kind = call_send_type(node.value)
+        if kind is None and sole_type is not None and is_read_call(node.value):
+            kind = sole_type
+        if kind is not None:
+            reply_vars[target.id] = kind
+
+    reads: List[Tuple[str, str, bool, int, int]] = []
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in reply_vars
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            reads.append(
+                (
+                    reply_vars[node.value.id],
+                    node.slice.value,
+                    True,
+                    node.lineno,
+                    node.col_offset,
+                )
+            )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in reply_vars
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            reads.append(
+                (
+                    reply_vars[node.func.value.id],
+                    node.args[0].value,
+                    False,
+                    node.lineno,
+                    node.col_offset,
+                )
+            )
+    return reads
 
 
 def _collect_request_flow(model: ProjectModel, project: ProjectInfo) -> None:
@@ -475,11 +711,36 @@ def _collect_request_flow(model: ProjectModel, project: ProjectInfo) -> None:
                     model.request_handled.setdefault(kind, []).append(
                         Site(module, line, col)
                     )
+                for types, keys, line, col in _reply_shapes(
+                    node, local_consts, global_consts
+                ):
+                    if types is None:
+                        if keys is not _OPAQUE:
+                            model.reply_generic |= keys
+                        continue
+                    for kind in types:
+                        if keys is _OPAQUE:
+                            model.reply_opaque.add(kind)
+                            continue
+                        per_kind = model.reply_keys.setdefault(kind, {})
+                        for key in keys:
+                            per_kind.setdefault(key, []).append(
+                                Site(module, line, col)
+                            )
             else:
                 for kind, line, col in _send_sites(node, local_consts, global_consts):
                     model.request_sent.setdefault(kind, []).append(
                         Site(module, line, col)
                     )
+                for kind, key, hard, line, col in _reply_read_sites(
+                    node, local_consts, global_consts
+                ):
+                    if hard:
+                        model.reply_reads.setdefault(kind, {}).setdefault(
+                            key, []
+                        ).append(Site(module, line, col))
+                    else:
+                        model.reply_soft_reads.setdefault(kind, set()).add(key)
 
 
 def build_model(project: ProjectInfo) -> ProjectModel:

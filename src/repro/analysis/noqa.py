@@ -10,8 +10,10 @@ greppable and auditable.
 
 from __future__ import annotations
 
+import io
 import re
-from typing import Dict, FrozenSet, Optional
+import tokenize
+from typing import Dict, FrozenSet, Iterator, Optional, Tuple
 
 #: ``line number (1-based) -> suppressed codes`` (``None`` = all codes).
 NoqaMap = Dict[int, Optional[FrozenSet[str]]]
@@ -27,13 +29,26 @@ _NOQA_RE = re.compile(
 _BOUNDED_RE = re.compile(r"#\s*chariots:\s*bounded-by\s*=\s*(?P<reason>[\w.\-]+)")
 
 
+def _comment_tokens(source: str) -> Iterator[Tuple[int, str]]:
+    """``(line, text)`` for every real comment token in ``source``.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps directives
+    quoted inside docstrings and string literals — this module's own docs,
+    for one — from registering as live suppressions.
+    """
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.string
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return  # unparseable tail; the scanner already requires valid AST
+
+
 def collect_noqa(source: str) -> NoqaMap:
     """Map suppression directives in ``source`` by line number."""
     result: NoqaMap = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        if "#" not in line or "chariots" not in line:
-            continue
-        match = _NOQA_RE.search(line)
+    for lineno, comment in _comment_tokens(source):
+        match = _NOQA_RE.search(comment)
         if match is None:
             continue
         codes = match.group("codes")
@@ -55,10 +70,8 @@ def collect_bounded(source: str) -> BoundedMap:
     declared bounds greppable (``grep -rn "bounded-by" src/``).
     """
     result: BoundedMap = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        if "#" not in line or "bounded-by" not in line:
-            continue
-        match = _BOUNDED_RE.search(line)
+    for lineno, comment in _comment_tokens(source):
+        match = _BOUNDED_RE.search(comment)
         if match is not None:
             result[lineno] = match.group("reason")
     return result

@@ -19,9 +19,12 @@ from .deadcode import OrphanMessageRule
 from .determinism import IterationOrderRule, UnseededRandomRule, WallClockRule
 from .dispatch import RequestDispatchRule
 from .exceptions import SwallowedExceptionRule
+from .noqa_audit import DeadNoqaRule
 from .protocol import ProtocolDispatchRule, ProtocolRegistrationRule
+from .replies import ReplyShapeRule
 from .slots import SlotsRule
 from .sockets import BlockingSocketRule
+from .supervision import SupervisorProtocolRule
 from .typed_api import TypedApiRule
 
 #: Every shipped rule, in code order.
@@ -40,6 +43,9 @@ ALL_RULES: List[Type[Rule]] = [
     OrphanMessageRule,  # CHR012
     SwallowedExceptionRule,  # CHR013
     BlockingSocketRule,  # CHR014
+    ReplyShapeRule,  # CHR015
+    SupervisorProtocolRule,  # CHR016
+    DeadNoqaRule,  # CHR017
 ]
 
 
@@ -60,12 +66,15 @@ __all__ = [
     "AwaitAtomicityRule",
     "BlockingAsyncRule",
     "BlockingSocketRule",
+    "DeadNoqaRule",
     "IterationOrderRule",
     "OrphanMessageRule",
     "ProtocolDispatchRule",
     "ProtocolRegistrationRule",
+    "ReplyShapeRule",
     "RequestDispatchRule",
     "SlotsRule",
+    "SupervisorProtocolRule",
     "SwallowedExceptionRule",
     "TypedApiRule",
     "UnboundedBufferRule",

@@ -7,10 +7,12 @@ published a stale-read window: a concurrent coroutine can observe or mutate
 the attribute mid-sequence, which silently breaks the pipeline ≡ abstract
 equivalence the paper's correctness argument rests on (§6.1).
 
-The rule walks each ``async def`` in ``net/`` in execution order (through
-one level of same-class ``self.m()`` helpers) and fires when an unlocked
-read of ``self.<attr>`` is followed by an ``await`` and then an unlocked
-write of the same attribute.  Escapes, in preference order:
+The rule walks each ``async def`` in ``net/`` in execution order (splicing
+same-class ``self.m()`` helpers up to :data:`~repro.analysis.dataflow.
+EXPAND_DEPTH` levels deep, cycle-safe) and fires when an unlocked read of
+``self.<attr>`` is followed by an ``await`` and then an unlocked write of
+the same attribute — even when the read, the await, and the write live in
+three different helpers.  Escapes, in preference order:
 
 * restructure to write-before-await (capture-and-null:
   ``obj, self.obj = self.obj, None`` then await on the local);
@@ -26,6 +28,7 @@ from typing import Dict, Iterator, List, Set, Tuple
 
 from ..dataflow import (
     AWAIT,
+    EXPAND_DEPTH,
     READ,
     WRITE,
     Event,
@@ -76,7 +79,12 @@ class AwaitAtomicityRule(ModuleRule):
                 continue
             if name.endswith("_locked"):
                 continue  # caller-holds-the-lock contract
-            events = expand_events(summaries[name], summaries)
+            events = expand_events(
+                summaries[name],
+                summaries,
+                depth=EXPAND_DEPTH,
+                exclude=frozenset({name}),
+            )
             yield from self._scan(module, cls.name, name, events)
 
     def _scan(

@@ -13,8 +13,9 @@ drift the model's construction sites expose:
 
 Messages constructed only by external drivers (tests, benchmark harnesses)
 are a legitimate pattern — suppress at the registration site with
-``# chariots: noqa=CHR012`` and a justification, mirroring CHR002's
-duck-typing escape.
+``# chariots: noqa=CHR012`` and a justification.  CHR017 will flag the
+directive the day it stops suppressing anything, so stale escapes don't
+outlive the pattern they excuse.
 """
 
 from __future__ import annotations

@@ -22,7 +22,7 @@ ways nondeterminism sneaks in:
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Set, Tuple
+from typing import Dict, Iterator, Optional, Set, Tuple
 
 from ..findings import Finding
 from ..project import ModuleInfo, qualified_name
@@ -198,7 +198,7 @@ class IterationOrderRule(ModuleRule):
         "in sorted(...)."
     )
 
-    def _sorted_wrapped(self, parents: dict, node: ast.AST) -> bool:
+    def _sorted_wrapped(self, parents: Dict[ast.AST, ast.AST], node: ast.AST) -> bool:
         parent = parents.get(node)
         if isinstance(parent, ast.Call):
             name: Optional[str] = None
@@ -210,7 +210,7 @@ class IterationOrderRule(ModuleRule):
     def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
         if not _in_scope(module):
             return
-        parents: dict = {}
+        parents: Dict[ast.AST, ast.AST] = {}
         for node in ast.walk(module.tree):
             for child in ast.iter_child_nodes(node):
                 parents[child] = node

@@ -13,8 +13,9 @@ string constants such as ``HELLO_TYPE``), in both directions:
   (the client hangs until timeout);
 * a dispatch branch for a type nothing sends is dead server surface.
 
-Responses are deliberately out of scope — only the request direction has an
-exhaustiveness invariant (the reply's shape is the RPC caller's concern).
+Responses are CHR015's job (:mod:`repro.analysis.rules.replies`): this rule
+balances *which types* flow, the reply-shape rule balances *what each
+reply contains*.
 """
 
 from __future__ import annotations

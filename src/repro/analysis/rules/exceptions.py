@@ -12,7 +12,12 @@ diverges, and nothing in the log explains why.  In the pipeline packages
   journal entry), nor
 * calls something that records it (a callee whose name contains ``log``,
   ``journal``, ``warn``, ``debug``, ``error``, ``exception``, ``record`` or
-  ``print``).
+  ``print``), nor
+* calls a same-class helper that transitively (within
+  :data:`~repro.analysis.dataflow.EXPAND_DEPTH` hops of the intra-class call
+  graph, cycle-safe) re-raises or records — an innocuously named
+  ``self._teardown()`` counts as handling when ``_teardown`` journals two
+  helpers down.
 
 Narrow excepts (``except KeyError:``) are out of scope — catching a
 specific, anticipated error is handling, not swallowing.
@@ -21,8 +26,15 @@ specific, anticipated error is handling, not swallowing.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Tuple
+from typing import Dict, Iterator, Optional, Set, Tuple
 
+from ..dataflow import (
+    EXPAND_DEPTH,
+    AnyFunc,
+    class_methods,
+    reachable_within,
+    self_call_graph,
+)
 from ..findings import Finding
 from ..project import ModuleInfo
 from .base import ModuleRule
@@ -59,7 +71,39 @@ def _is_broad(handler: ast.ExceptHandler) -> bool:
     return False
 
 
-def _handles(handler: ast.ExceptHandler) -> bool:
+def _records_locally(func: AnyFunc) -> bool:
+    """Whether a method body re-raises or calls a recording-named function."""
+    for sub in ast.walk(func):
+        if isinstance(sub, ast.Raise):
+            return True
+        if isinstance(sub, ast.Call):
+            callee = sub.func
+            name = callee.attr if isinstance(callee, ast.Attribute) else (
+                callee.id if isinstance(callee, ast.Name) else ""
+            )
+            if any(hint in name.lower() for hint in _RECORDING_HINTS):
+                return True
+    return False
+
+
+def _recording_helpers(cls: ast.ClassDef) -> Set[str]:
+    """Same-class methods that re-raise or record within EXPAND_DEPTH hops.
+
+    A handler may delegate cleanup to ``self._teardown()``; if anything on
+    ``_teardown``'s bounded call chain raises or records, calling it counts
+    as handling the exception.
+    """
+    methods = class_methods(cls)
+    graph = self_call_graph(cls)
+    local = {name: _records_locally(func) for name, func in methods.items()}
+    return {
+        name
+        for name in methods
+        if any(local[m] for m in reachable_within(graph, [name], EXPAND_DEPTH))
+    }
+
+
+def _handles(handler: ast.ExceptHandler, helpers: Set[str]) -> bool:
     """Whether the handler body does something with the exception."""
     for node in handler.body:
         for sub in ast.walk(node):
@@ -78,6 +122,13 @@ def _handles(handler: ast.ExceptHandler) -> bool:
                 )
                 if any(hint in name.lower() for hint in _RECORDING_HINTS):
                     return True
+                if (
+                    isinstance(callee, ast.Attribute)
+                    and isinstance(callee.value, ast.Name)
+                    and callee.value.id == "self"
+                    and name in helpers
+                ):
+                    return True
     return False
 
 
@@ -89,20 +140,38 @@ class SwallowedExceptionRule(ModuleRule):
     description = (
         "A bare or Exception/BaseException handler in chariots/, flstore/ or "
         "runtime/ must re-raise, use the bound exception (error reply, "
-        "journal entry), or call a logging/journaling function — silently "
-        "dropping a record's failure breaks pipeline-abstract equivalence "
-        "with no trace."
+        "journal entry), or call a logging/journaling function — directly or "
+        "through a same-class helper chain; silently dropping a record's "
+        "failure breaks pipeline-abstract equivalence with no trace."
     )
 
     def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
         if not module.in_package(PIPELINE_PACKAGES):
             return
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.ExceptHandler):
-                continue
+        # Nearest enclosing class per node, so handlers can count same-class
+        # helper chains (computed lazily, once per class) as recording.
+        owners: Dict[ast.ExceptHandler, Optional[ast.ClassDef]] = {}
+        helper_cache: Dict[ast.ClassDef, Set[str]] = {}
+
+        def collect(node: ast.AST, owner: Optional[ast.ClassDef]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    collect(child, child)
+                    continue
+                if isinstance(child, ast.ExceptHandler):
+                    owners[child] = owner
+                collect(child, owner)
+
+        collect(module.tree, None)
+        for node, owner in owners.items():
             if not _is_broad(node):
                 continue
-            if _handles(node):
+            helpers: Set[str] = set()
+            if owner is not None:
+                if owner not in helper_cache:
+                    helper_cache[owner] = _recording_helpers(owner)
+                helpers = helper_cache[owner]
+            if _handles(node, helpers):
                 continue
             yield self.finding(
                 module,

@@ -1,0 +1,82 @@
+"""CHR015 — reply-shape exhaustiveness for the ``net/`` RPC surface.
+
+CHR011 balances the *request* direction of the dict protocol; this rule
+closes the loop on the *reply* direction, per LogPlayer's request/response
+framing: every exchange is a balanced pair, and the reply's shape is part of
+the contract.  Using the project model's reply-shape extraction it checks
+both ends of every request type:
+
+* a client subscript read (``response["results"]``) of a key **no** handler
+  branch for that type emits is a latent ``KeyError`` — the misspelled or
+  dropped key only surfaces when that branch is actually exercised;
+* a key a handler branch emits that **no** client call site reads (neither
+  subscript nor tolerant ``.get``) is dead reply surface — bytes shipped on
+  every response that nothing consumes, and shape drift nothing would catch.
+
+``type`` and ``error`` are framing: ``type`` names the reply, ``error``
+rides the generic error fallback, and both are consumed by connection-level
+plumbing rather than per-call-site code.  Branches whose reply is not a dict
+literal are opaque and skipped (the shape can't be known statically), as are
+types never sent by a scanned client (partial scans must stay silent).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..findings import Finding
+from ..model import build_model
+from ..project import ProjectInfo
+from .base import Rule
+
+#: Keys owned by the framing layer, not by individual call sites.
+FRAMING_KEYS = frozenset({"type", "error"})
+
+
+class ReplyShapeRule(Rule):
+    """CHR015: emitted reply keys and client-read reply keys must agree."""
+
+    code = "CHR015"
+    name = "reply-shape"
+    description = (
+        "For every {'type': ...} request the net/ layer exchanges, the reply "
+        "keys each client call site reads must be emitted by some server "
+        "branch for that type (a missing key is a latent KeyError), and "
+        "every non-framing key a branch emits must be read by some client "
+        "(unread keys are dead reply surface).  'type'/'error' are framing "
+        "and exempt; non-literal replies are opaque and skipped."
+    )
+
+    def check(self, project: ProjectInfo) -> Iterator[Finding]:
+        model = build_model(project)
+        if not model.has_request_handlers:
+            return  # partial scan without servers: no shapes to check
+        for kind in sorted(set(model.reply_reads) & set(model.reply_keys)):
+            if kind in model.reply_opaque:
+                continue
+            emitted = set(model.reply_keys[kind]) | model.reply_generic
+            for key in sorted(set(model.reply_reads[kind]) - emitted):
+                for site in model.reply_reads[kind][key]:
+                    yield self.finding(
+                        site.module,
+                        site.line,
+                        site.col,
+                        f'reply key "{key}" of request "{kind}" is read here '
+                        "but no server branch for that type emits it — a "
+                        "KeyError once this path runs",
+                    )
+        for kind in sorted(model.reply_keys):
+            if kind in model.reply_opaque or kind not in model.request_sent:
+                continue
+            read = set(model.reply_reads.get(kind, {})) | model.reply_soft_reads.get(
+                kind, set()
+            )
+            for key in sorted(set(model.reply_keys[kind]) - read - FRAMING_KEYS):
+                site = model.reply_keys[kind][key][0]
+                yield self.finding(
+                    site.module,
+                    site.line,
+                    site.col,
+                    f'reply key "{key}" of request "{kind}" is emitted here '
+                    "but no client call site reads it (dead reply surface)",
+                )

@@ -1,13 +1,17 @@
 """CHR008 — fully annotated public API in the typed packages.
 
-``core/``, ``flstore/``, ``chariots/``, ``runtime/``, ``net/``, and
-``bench/`` are the packages mypy checks in strict mode (pyproject
-``[tool.mypy]`` overrides); strict mode fails on any
-unannotated def, but mypy isn't installable in every environment this repo
-runs in.  This rule enforces the load-bearing subset locally and offline:
-every public function/method in those packages must annotate its return
-type and every parameter (``self``/``cls`` excepted), so the typed surface
-can't silently erode between CI runs.
+Every ``repro.*`` package is on the mypy strict profile (pyproject
+``[tool.mypy]`` overrides — the lenient repo-wide default is gone); strict
+mode fails on any unannotated def, but mypy isn't installable in every
+environment this repo runs in.  This rule enforces the load-bearing subset
+locally and offline: every public function/method in those packages must
+annotate its return type and every parameter (``self``/``cls`` excepted),
+so the typed surface can't silently erode between CI runs.
+
+``TYPED_PACKAGES`` must stay identical to the pyproject override module
+list and the actual ``src/repro/*`` package set —
+``tests/test_analysis.py`` asserts all three agree, so a new package
+cannot land untyped silently.
 """
 
 from __future__ import annotations
@@ -21,7 +25,18 @@ from .base import ModuleRule
 
 #: Packages whose public defs must be fully annotated (the mypy-strict set).
 TYPED_PACKAGES: Tuple[str, ...] = (
-    "core", "flstore", "chariots", "runtime", "net", "bench",
+    "core",
+    "flstore",
+    "chariots",
+    "runtime",
+    "net",
+    "bench",
+    "sim",
+    "chaos",
+    "apps",
+    "baseline",
+    "scenarios",
+    "analysis",
 )
 
 #: Dunder methods with fixed, inferable signatures that strict mypy accepts
@@ -36,10 +51,10 @@ class TypedApiRule(ModuleRule):
     code = "CHR008"
     name = "untyped-public-api"
     description = (
-        "Every public function and method in core/, flstore/, chariots/, "
-        "runtime/, net/, and bench/ must annotate its return type and all "
-        "parameters (self/cls excepted); this is the offline-checkable core "
-        "of the mypy strict gate."
+        "Every public function and method in every repro.* package must "
+        "annotate its return type and all parameters (self/cls excepted); "
+        "this is the offline-checkable core of the mypy strict gate, which "
+        "now covers the whole tree."
     )
 
     def check_module(self, module: ModuleInfo) -> Iterator[Finding]:

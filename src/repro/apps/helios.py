@@ -22,7 +22,7 @@ evaluates which.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.record import DatacenterId, LogEntry, RecordId
 from .message_futures import PendingCommit, Transaction
@@ -64,7 +64,7 @@ class _ZoneTxn:
     def conflicts_with(self, other: "_ZoneTxn") -> bool:
         return self.concurrent_with(other) and bool(set(self.writes) & set(other.writes))
 
-    def priority(self):
+    def priority(self) -> Tuple[float, int, DatacenterId]:
         """Lower wins: earlier timestamp, then TOId, then host id."""
         return (self.ts, self.rid.toid, self.rid.host)
 

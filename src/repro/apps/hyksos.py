@@ -93,7 +93,7 @@ class Hyksos:
         self._observe(result.rid.host, result.rid.toid)
         return versions
 
-    def _append(self, body: Any, tags: Dict[str, Any]):
+    def _append(self, body: Any, tags: Dict[str, Any]) -> Any:
         try:
             return self.log.append(body, tags=tags, deps=dict(self.session_deps))
         except TypeError:

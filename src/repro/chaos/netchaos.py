@@ -59,7 +59,7 @@ class NetChaos:
         #: Stop injecting after this many faults (None = unbounded) — lets a
         #: test guarantee eventual success without reseeding.
         self.max_faults = max_faults
-        self.stats: Counter = Counter()
+        self.stats: Counter[str] = Counter()
 
     def decide(self, request_type: str) -> Tuple[str, float]:
         """Return ``(action, delay_seconds)`` for one inbound request."""

@@ -186,7 +186,7 @@ class FaultPlan:
         self.partitions: List[PartitionEvent] = []
         #: Injection counters: dropped / delayed / duplicated / reordered /
         #: partitioned — chaos tests assert the plan actually fired.
-        self.stats: Counter = Counter()
+        self.stats: Counter[str] = Counter()
 
     # -- builders -------------------------------------------------------- #
 

@@ -74,7 +74,7 @@ class ProcChaos:
         self.max_faults = max_faults
         #: Injection counters: frames_dropped / frames_delayed /
         #: workers_killed — chaos tests assert the plan actually fired.
-        self.stats: Counter = Counter()
+        self.stats: Counter[str] = Counter()
 
     @classmethod
     def from_plan(cls, plan: FaultPlan, **overrides: Any) -> "ProcChaos":

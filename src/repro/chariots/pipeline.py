@@ -13,11 +13,11 @@ the Awareness Table).  Inter-datacenter wiring happens afterwards via
 from __future__ import annotations
 
 import os
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 from ..core.config import DeploymentSpec, FLStoreConfig, PipelineConfig
 from ..core.errors import ConfigurationError
-from ..core.record import DatacenterId, KnowledgeVector, LogEntry
+from ..core.record import DatacenterId, KnowledgeVector, LogEntry, RecordId
 from ..flstore.controller import Controller
 from ..flstore.indexer import Indexer
 from ..flstore.maintainer import LogMaintainer
@@ -420,7 +420,7 @@ class ChariotsDeployment:
 
     # -- convergence helpers (tests) -------------------------------------- #
 
-    def record_sets(self) -> Dict[DatacenterId, set]:
+    def record_sets(self) -> Dict[DatacenterId, Set[RecordId]]:
         return {
             dc: {entry.rid for entry in pipe.all_entries()}
             for dc, pipe in self.pipelines.items()

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from bisect import insort
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.errors import LidOutOfRangeError
 from ..core.record import LogEntry, ReadRules, Record
@@ -69,7 +69,7 @@ class ArchiveStore:
     def __len__(self) -> int:
         return len(self._records)
 
-    def lid_range(self) -> Optional[tuple]:
+    def lid_range(self) -> Optional[Tuple[int, int]]:
         if not self._lids:
             return None
         return (self._lids[0], self._lids[-1])

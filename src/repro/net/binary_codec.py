@@ -31,7 +31,7 @@ from __future__ import annotations
 import dataclasses
 import struct
 from operator import attrgetter
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Tuple, Type
 
 from ..chariots.messages import DraftRecord
 from ..core.errors import NetworkProtocolError
@@ -114,12 +114,12 @@ _MSG_NAMES: List[str] = sorted(
     for name, cls in registered_message_types().items()
     if cls not in _SPECIAL_CLASSES
 )
-_MSG_CLASSES: List[type] = [registered_message_types()[n] for n in _MSG_NAMES]
+_MSG_CLASSES: List[Type[Any]] = [registered_message_types()[n] for n in _MSG_NAMES]
 
 #: class → (type index, attrgetter over the dataclass fields in order).
-_MSG_ENCODERS: Dict[type, Tuple[int, Callable[[Any], Any], bool]] = {}
+_MSG_ENCODERS: Dict[Type[Any], Tuple[int, Callable[[Any], Any], bool]] = {}
 #: type index → (class, field count).
-_MSG_DECODERS: List[Tuple[type, int]] = []
+_MSG_DECODERS: List[Tuple[Type[Any], int]] = []
 
 for _index, _cls in enumerate(_MSG_CLASSES):
     _names = [f.name for f in dataclasses.fields(_cls)]

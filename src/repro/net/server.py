@@ -274,7 +274,6 @@ class ControllerServer(_BaseServer):
                 "type": "session_info",
                 "maintainers": self.maintainer_addresses,
                 "indexers": self.indexer_addresses,
-                "batch_size": info.batch_size,
                 "epochs": [[s, b, list(ms)] for s, b, ms in info.epochs],
             }
         return {"type": "error", "error": f"unknown request type {request['type']!r}"}

@@ -448,7 +448,7 @@ class MultiprocRuntime:
         self._recovering = False
         #: Frames/bytes that supervision could not protect: chaos drops,
         #: retransmit-buffer overflow, drain timeouts, replay gaps.
-        self.loss_accounting: Counter = Counter()
+        self.loss_accounting: Counter[str] = Counter()
 
     # -- registry (BaseRuntime-compatible surface) ------------------------ #
 

@@ -23,7 +23,7 @@ Tags:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.errors import ConfigurationError
 from .spec import BaselineCheck, Invariant, ScenarioSpec, TopologySpec, WorkloadSpec
@@ -816,7 +816,7 @@ def select(
 
 
 def tags_in_use() -> List[str]:
-    out: set = set()
+    out: Set[str] = set()
     for spec in CATALOG:
         out.update(spec.tags)
     return sorted(out)

@@ -25,7 +25,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
 from ..core.config import (
     PRIVATE_CLOUD,
@@ -125,7 +125,7 @@ def _prune(data: Dict[str, Any], defaults: Dict[str, Any]) -> Dict[str, Any]:
     return {k: v for k, v in data.items() if defaults.get(k, object()) != v}
 
 
-def _defaults_of(cls: type) -> Dict[str, Any]:
+def _defaults_of(cls: Type[Any]) -> Dict[str, Any]:
     out: Dict[str, Any] = {}
     for f in dataclasses.fields(cls):
         if f.default is not dataclasses.MISSING:

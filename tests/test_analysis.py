@@ -9,7 +9,9 @@ file being honest.
 
 from __future__ import annotations
 
+import ast
 import json
+import tomllib
 from pathlib import Path
 
 from repro.analysis import (
@@ -23,6 +25,16 @@ from repro.analysis import (
     scan,
 )
 from repro.analysis.cli import main as analysis_main
+from repro.analysis.dataflow import (
+    EXPAND_DEPTH,
+    WRITE,
+    class_methods,
+    expand_events,
+    method_events,
+    reachable_within,
+    self_call_graph,
+)
+from repro.analysis.rules.typed_api import TYPED_PACKAGES
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -408,14 +420,26 @@ class TestTypedApiRule:
         findings = lint(tmp_path, {"core/log.py": source}, select=["CHR008"])
         assert findings == []
 
-    def test_private_defs_and_untyped_packages_are_exempt(self, tmp_path):
+    def test_private_defs_and_out_of_package_modules_are_exempt(self, tmp_path):
+        # Every repro.* package is typed now; the remaining exemptions are
+        # private defs and modules outside any typed package (scratch
+        # scripts at the scan root).
         source = "def _internal(x):\n    return x\n"
         findings = lint(
             tmp_path,
-            {"core/log.py": source, "sim/free.py": "def f(x):\n    return x\n"},
+            {"core/log.py": source, "scratch.py": "def f(x):\n    return x\n"},
             select=["CHR008"],
         )
         assert findings == []
+
+    def test_every_package_is_typed(self, tmp_path):
+        # sim/ was the last lenient package; its promotion must hold.
+        findings = lint(
+            tmp_path,
+            {"sim/free.py": "def f(x):\n    return x\n"},
+            select=["CHR008"],
+        )
+        assert len(findings) == 2  # missing return + unannotated param
 
     def test_self_is_not_required_to_be_annotated(self, tmp_path):
         source = (
@@ -463,7 +487,7 @@ class TestBaseline:
         root = tmp_path / "proj" / "sim"
         root.mkdir(parents=True)
         (root / "clock.py").write_text(
-            "import time\n\ndef now():\n    return time.time()\n"
+            "import time\n\ndef now() -> float:\n    return time.time()\n"
         )
         baseline_path = tmp_path / "baseline.json"
         # First run writes the baseline; second run is clean against it.
@@ -505,7 +529,7 @@ class TestCli:
         root = tmp_path / "proj" / "sim"
         root.mkdir(parents=True)
         (root / "clock.py").write_text(
-            "import time\n\ndef now():\n    return time.time()\n"
+            "import time\n\ndef now() -> float:\n    return time.time()\n"
         )
         assert analysis_main([str(tmp_path / "proj")]) == 1
         out = capsys.readouterr().out
@@ -515,7 +539,7 @@ class TestCli:
         root = tmp_path / "proj" / "sim"
         root.mkdir(parents=True)
         (root / "clock.py").write_text(
-            "import time\n\ndef now():\n    return time.time()\n"
+            "import time\n\ndef now() -> float:\n    return time.time()\n"
         )
         assert analysis_main([str(tmp_path / "proj"), "--format", "json"]) == 1
         payload = json.loads(capsys.readouterr().out)
@@ -570,6 +594,23 @@ class TestCommittedTree:
             select=["CHR009", "CHR010", "CHR011", "CHR012", "CHR013"],
         )
         assert findings == [], [f.render() for f in findings]
+
+    def test_reply_and_supervision_rules_need_no_baseline(self):
+        """This PR's acceptance bar: CHR014 (sockets), CHR015 (reply shapes)
+        and CHR016 (supervisor protocol) pass with an empty baseline.
+        CHR017 only audits on full runs and is covered by
+        test_src_is_clean_under_every_rule."""
+        findings = run_rules(
+            scan([REPO_ROOT / "src"]),
+            select=["CHR014", "CHR015", "CHR016"],
+        )
+        assert findings == [], [f.render() for f in findings]
+
+    def test_committed_baseline_is_empty(self):
+        """Everything found gets fixed, not baselined: the committed
+        baseline must stay empty (CI enforces the same invariant)."""
+        payload = json.loads((REPO_ROOT / "analysis-baseline.json").read_text())
+        assert payload["findings"] == {}
 
 
 # --------------------------------------------------------------------- #
@@ -1088,6 +1129,9 @@ class TestFlowGraph:
         assert set(graph["requests"]) == {"ping", "status"}
         assert graph["requests"]["ping"]["sent_from"][0]["module"] == "net/client.py"
         assert graph["requests"]["ping"]["handled_in"][0]["module"] == "net/server.py"
+        # Reply-shape surface (CHR015's inputs) rides along in the export.
+        assert graph["requests"]["ping"]["reply_keys"] == ["ok"]
+        assert graph["requests"]["ping"]["reply_opaque"] is False
 
     def test_graph_dot_renders(self):
         dot = build_model(scan([REPO_ROOT / "src"])).graph_dot()
@@ -1119,3 +1163,389 @@ class TestGraphCli:
         root = self._fixture(tmp_path)
         assert analysis_main([str(root), "--graph", "dot"]) == 0
         assert capsys.readouterr().out.startswith("digraph message_flow {")
+
+
+# --------------------------------------------------------------------- #
+# Multi-hop dataflow walk (CHR010 depth, cycle safety)
+# --------------------------------------------------------------------- #
+
+_DEEP_RACE = """\
+class Conn:
+    def __init__(self, opener):
+        self._opener = opener
+        self._sock = None
+
+    async def reconnect(self):
+        if self._sock is None:
+            await self._refresh()
+
+    async def _refresh(self):
+        await self._reopen()
+
+    async def _reopen(self):
+        self._sock = await self._opener()
+"""
+
+
+class TestMultiHopWalk:
+    def test_race_two_helper_levels_deep_fires(self, tmp_path):
+        findings = lint(tmp_path, {"net/conn.py": _DEEP_RACE}, select=["CHR010"])
+        assert codes(findings) == ["CHR010"]
+        assert "reconnect" in findings[0].message
+        assert "_sock" in findings[0].message
+
+    def test_depth_one_walk_provably_misses_it(self):
+        """The historical one-level splice never sees the write two helper
+        levels down — the depth bound is what makes the deep fixture fire."""
+        cls = ast.parse(_DEEP_RACE).body[0]
+        methods = class_methods(cls)
+        summaries = {
+            name: method_events(func, methods) for name, func in methods.items()
+        }
+        deep = expand_events(summaries["reconnect"], summaries)
+        shallow = expand_events(summaries["reconnect"], summaries, depth=1)
+        assert any(e.kind == WRITE and e.attr == "_sock" for e in deep)
+        assert not any(e.kind == WRITE for e in shallow)
+
+    def test_mutually_recursive_helpers_terminate(self, tmp_path):
+        source = (
+            "class Conn:\n"
+            "    def __init__(self):\n"
+            "        self._sock = None\n"
+            "\n"
+            "    async def ping(self):\n"
+            "        await self.pong()\n"
+            "\n"
+            "    async def pong(self):\n"
+            "        await self.ping()\n"
+        )
+        cls = ast.parse(source).body[0]
+        methods = class_methods(cls)
+        summaries = {
+            name: method_events(func, methods) for name, func in methods.items()
+        }
+        # Must terminate (splice-stack cycle detection), not recurse forever.
+        events = expand_events(summaries["ping"], summaries)
+        assert all(e.kind != "call" for e in events)
+        # And the rule stays clean on it rather than hanging.
+        findings = lint(tmp_path, {"net/conn.py": source}, select=["CHR010"])
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# CHR015 — reply-shape exhaustiveness
+# --------------------------------------------------------------------- #
+
+_REPLY_SERVER = """\
+class Server:
+    async def handle(self, request):
+        kind = request["type"]
+        if kind == "ping":
+            return {"type": "pong", "seq": 1}
+        if kind == "status":
+            return {"type": "status_reply", "up": True}
+        return {"type": "error", "error": "unknown request"}
+"""
+
+_REPLY_CLIENT = """\
+class Client:
+    async def ping(self, conn):
+        response = await conn.request({"type": "ping"})
+        return response["seq"]
+
+    async def status(self, conn):
+        response = await conn.request({"type": "status"})
+        return response["up"]
+"""
+
+
+class TestReplyShapeRule:
+    def test_balanced_reply_surface_is_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {"net/server.py": _REPLY_SERVER, "net/client.py": _REPLY_CLIENT},
+            select=["CHR015"],
+        )
+        assert findings == []
+
+    def test_misspelled_reply_key_fires_both_ends(self, tmp_path):
+        client = _REPLY_CLIENT.replace('response["seq"]', 'response["sequence"]')
+        findings = lint(
+            tmp_path,
+            {"net/server.py": _REPLY_SERVER, "net/client.py": client},
+            select=["CHR015"],
+        )
+        assert codes(findings) == ["CHR015", "CHR015"]
+        read_miss = next(f for f in findings if f.path.endswith("client.py"))
+        dead_key = next(f for f in findings if f.path.endswith("server.py"))
+        assert '"sequence"' in read_miss.message and "KeyError" in read_miss.message
+        assert '"seq"' in dead_key.message and "dead reply surface" in dead_key.message
+
+    def test_soft_get_read_counts_and_never_keyerrors(self, tmp_path):
+        client = _REPLY_CLIENT.replace(
+            'response["seq"]', 'response.get("seq")'
+        )
+        findings = lint(
+            tmp_path,
+            {"net/server.py": _REPLY_SERVER, "net/client.py": client},
+            select=["CHR015"],
+        )
+        assert findings == []
+
+    def test_opaque_reply_branch_is_skipped(self, tmp_path):
+        server = _REPLY_SERVER.replace(
+            '            return {"type": "pong", "seq": 1}\n',
+            "            return self._build_pong(request)\n",
+        )
+        findings = lint(
+            tmp_path,
+            {"net/server.py": server, "net/client.py": _REPLY_CLIENT},
+            select=["CHR015"],
+        )
+        assert findings == []
+
+    def test_unsent_request_types_are_not_checked(self, tmp_path):
+        server = _REPLY_SERVER.replace(
+            '        return {"type": "error", "error": "unknown request"}\n',
+            '        if kind == "drain":\n'
+            '            return {"type": "drained", "junk": 1}\n'
+            '        return {"type": "error", "error": "unknown request"}\n',
+        )
+        findings = lint(
+            tmp_path,
+            {"net/server.py": server, "net/client.py": _REPLY_CLIENT},
+            select=["CHR015"],
+        )
+        assert findings == []
+
+    def test_scan_without_servers_is_silent(self, tmp_path):
+        findings = lint(
+            tmp_path, {"net/client.py": _REPLY_CLIENT}, select=["CHR015"]
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# CHR016 — supervisor-protocol safety
+# --------------------------------------------------------------------- #
+
+_SEQ_NO_TRIM = """\
+class Slot:
+    def __init__(self):
+        self.delivery_seq = 0
+        self.unacked = []
+
+    def admit(self, frame):
+        self.delivery_seq += 1
+        self.unacked.append(frame)
+"""
+
+_EXIT_NO_TERMINAL = """\
+class Supervisor:
+    def __init__(self, procs):
+        self.procs = procs
+        self.notes = []
+
+    def check(self):
+        for proc in self.procs:
+            if proc.exitcode is not None:
+                self._note(proc)
+
+    def _note(self, proc):
+        self.notes.append(proc)
+"""
+
+
+class TestSupervisorProtocolRule:
+    def test_untrimmed_sequenced_buffer_fires(self, tmp_path):
+        findings = lint(
+            tmp_path, {"runtime/slot.py": _SEQ_NO_TRIM}, select=["CHR016"]
+        )
+        assert codes(findings) == ["CHR016"]
+        assert "'unacked'" in findings[0].message
+
+    def test_trim_anywhere_in_class_is_clean(self, tmp_path):
+        source = _SEQ_NO_TRIM + (
+            "\n"
+            "    def on_ack(self, count):\n"
+            "        for _ in range(count):\n"
+            "            self.unacked.pop(0)\n"
+        )
+        findings = lint(
+            tmp_path, {"runtime/slot.py": source}, select=["CHR016"]
+        )
+        assert findings == []
+
+    def test_reset_assignment_outside_init_is_clean(self, tmp_path):
+        source = _SEQ_NO_TRIM + (
+            "\n"
+            "    def drain(self):\n"
+            "        held, self.unacked = self.unacked, []\n"
+            "        return held\n"
+        )
+        findings = lint(
+            tmp_path, {"runtime/slot.py": source}, select=["CHR016"]
+        )
+        assert findings == []
+
+    def test_init_assignment_does_not_count_as_trim(self, tmp_path):
+        # The ``self.unacked = []`` in __init__ is initialisation, not an
+        # ack path; the positive fixture must keep firing despite it.
+        assert "self.unacked = []" in _SEQ_NO_TRIM
+        findings = lint(
+            tmp_path, {"runtime/slot.py": _SEQ_NO_TRIM}, select=["CHR016"]
+        )
+        assert codes(findings) == ["CHR016"]
+
+    def test_exitcode_without_terminal_fires(self, tmp_path):
+        findings = lint(
+            tmp_path, {"runtime/boss.py": _EXIT_NO_TERMINAL}, select=["CHR016"]
+        )
+        assert codes(findings) == ["CHR016"]
+        assert "exitcode" in findings[0].message
+
+    def test_respawn_within_hop_bound_is_clean(self, tmp_path):
+        source = _EXIT_NO_TERMINAL.replace(
+            "        self.notes.append(proc)\n",
+            "        self._respawn(proc)\n"
+            "\n"
+            "    def _respawn(self, proc):\n"
+            "        self.notes.append(proc)\n",
+        )
+        findings = lint(
+            tmp_path, {"runtime/boss.py": source}, select=["CHR016"]
+        )
+        assert findings == []
+
+    def test_failed_flag_store_is_a_terminal(self, tmp_path):
+        source = _EXIT_NO_TERMINAL.replace(
+            "        self.notes.append(proc)\n",
+            "        self.failed = True\n",
+        )
+        findings = lint(
+            tmp_path, {"runtime/boss.py": source}, select=["CHR016"]
+        )
+        assert findings == []
+
+    def test_outside_runtime_is_out_of_scope(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "chariots/slot.py": _SEQ_NO_TRIM,
+                "net/boss.py": _EXIT_NO_TERMINAL,
+            },
+            select=["CHR016"],
+        )
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# CHR017 — dead noqa directives
+# --------------------------------------------------------------------- #
+
+
+class TestDeadNoqaRule:
+    def test_dead_directive_fires_on_full_runs(self, tmp_path):
+        findings = lint(
+            tmp_path, {"sim/junk.py": "X = 1  # chariots: noqa=CHR003\n"}
+        )
+        assert codes(findings) == ["CHR017"]
+        assert "CHR003" in findings[0].message
+
+    def test_live_directive_is_silent(self, tmp_path):
+        source = (
+            "import time\n"
+            "\n"
+            "def now() -> float:\n"
+            "    return time.time()  # chariots: noqa=CHR003\n"
+        )
+        findings = lint(tmp_path, {"sim/clock.py": source})
+        assert findings == []
+
+    def test_directive_listing_chr017_is_exempt(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {"sim/junk.py": "X = 1  # chariots: noqa=CHR003,CHR017\n"},
+        )
+        assert findings == []
+
+    def test_docstring_mention_is_not_a_directive(self, tmp_path):
+        source = (
+            '"""Docs quoting the # chariots: noqa=CHR003 syntax in prose."""\n'
+            "X = 1\n"
+        )
+        findings = lint(tmp_path, {"sim/doc.py": source})
+        assert findings == []
+
+    def test_selected_runs_skip_the_audit(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {"sim/junk.py": "X = 1  # chariots: noqa=CHR003\n"},
+            select=["CHR003"],
+        )
+        assert findings == []
+
+    def test_dead_bare_directive_cannot_suppress_its_own_report(self, tmp_path):
+        # A bare noqa suppresses every code — but CHR017 findings bypass
+        # noqa filtering, so the dead directive is still reported.
+        findings = lint(tmp_path, {"sim/junk.py": "X = 1  # chariots: noqa\n"})
+        assert codes(findings) == ["CHR017"]
+        assert "all rules" in findings[0].message
+
+
+# --------------------------------------------------------------------- #
+# Typed-surface consistency (CHR008 <-> pyproject <-> tree)
+# --------------------------------------------------------------------- #
+
+
+class TestTypedSurfaceConsistency:
+    def test_typed_packages_match_pyproject_and_tree(self):
+        data = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+        overrides = data["tool"]["mypy"]["overrides"]
+        strict = [o for o in overrides if o.get("disallow_untyped_defs")]
+        assert len(strict) == 1, "expected exactly one strict override block"
+        from_pyproject = set()
+        for module in strict[0]["module"]:
+            assert module.startswith("repro.") and module.endswith(".*"), module
+            from_pyproject.add(module[len("repro.") : -len(".*")])
+        on_disk = {
+            path.name
+            for path in (REPO_ROOT / "src" / "repro").iterdir()
+            if path.is_dir() and (path / "__init__.py").exists()
+        }
+        assert set(TYPED_PACKAGES) == from_pyproject == on_disk
+
+    def test_no_lenient_mypy_default_remains(self):
+        data = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+        assert "ignore_errors" not in data["tool"]["mypy"]
+        for override in data["tool"]["mypy"]["overrides"]:
+            assert override.get("ignore_errors") is not True
+
+
+# --------------------------------------------------------------------- #
+# Call-graph acceptance over the real supervision hot path
+# --------------------------------------------------------------------- #
+
+
+class TestSupervisionCallGraph:
+    def _runtime_class(self):
+        source = (REPO_ROOT / "src" / "repro" / "runtime" / "multiproc.py").read_text()
+        for node in ast.parse(source).body:
+            if isinstance(node, ast.ClassDef) and node.name == "MultiprocRuntime":
+                return node
+        raise AssertionError("MultiprocRuntime not found")
+
+    def test_failure_detection_reaches_mark_down(self):
+        graph = self_call_graph(self._runtime_class())
+        reachable = reachable_within(graph, ["_detect_failures"], EXPAND_DEPTH)
+        assert "_mark_worker_down" in reachable
+
+    def test_hop_bound_is_real_on_the_supervision_path(self):
+        """check_workers -> _respawn_worker -> _respawn_once needs two hops:
+        the depth-1 frontier misses the second edge, depth 3 crosses it."""
+        graph = self_call_graph(self._runtime_class())
+        shallow = reachable_within(graph, ["check_workers"], 1)
+        deep = reachable_within(graph, ["check_workers"], EXPAND_DEPTH)
+        assert "_respawn_worker" in shallow
+        assert "_respawn_once" not in shallow
+        assert "_respawn_once" in deep

@@ -34,12 +34,28 @@ CHR016    supervisor-protocol          sequenced emissions get ack/trimmed;
                                        respawn-or-park terminal
 CHR017    dead-noqa                    every noqa directive still suppresses
                                        something (full runs only)
+CHR018    cross-actor-lost-update      no field read before a send is
+                                       blindly rewritten by the reply
+                                       handler (stale across the round trip)
+CHR019    handler-silent-drop          no state guard silently swallows
+                                       message kinds that provably arrive
+CHR020    protocol-invariant           the multiproc exactly-once machine
+                                       model-checks clean (and still anchors
+                                       to the code — drift is a finding)
+CHR021    backpressure-deadlock        no actor cycle where every edge's
+                                       bounded intake can refuse at once
 ========  ===========================  =====================================
 
 CHR001/CHR002 and CHR009–CHR016 read a shared, memoised whole-project model
 (message-flow graph + bounded multi-hop interprocedural dataflow; see
 :mod:`repro.analysis.model` and :mod:`repro.analysis.dataflow`), which
-``--graph {json,dot}`` dumps for docs and debugging.
+``--graph {json,dot}`` dumps for docs and debugging.  CHR018/CHR019/CHR021
+layer a memoised cross-actor send/handle graph on top
+(:mod:`repro.analysis.actors`; merged into ``--graph json`` as the
+``actors`` section), and CHR020 runs the explicit-state model checker in
+:mod:`repro.analysis.protocol_check` against the multiproc runtime's
+seq/ack/output-commit protocol.  ``--format sarif`` renders any run as
+SARIF 2.1.0 for code-scanning uploads.
 
 Suppression: ``# chariots: noqa=CHR003`` on the offending line (comma list
 or bare ``noqa`` for all codes); CHR009 additionally accepts a structured

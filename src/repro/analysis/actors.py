@@ -1,0 +1,395 @@
+"""Cross-actor message-flow graph: who sends what to whom, and how.
+
+The :class:`~repro.analysis.model.ProjectModel` knows message *kinds* —
+which dataclasses exist, where they are constructed, which ``on_message``
+bodies ``isinstance``-dispatch them.  What it cannot answer is the
+*actor-level* question the cross-actor rules need: from a ``self.send(...)``
+site in class A, which classes can receive the message, which dispatch
+branch handles it there, and what that branch does (replies sent, state
+overwritten, intake refused under a buffer limit).
+
+This module extracts exactly that, once per scan:
+
+* **actor classes** — every class defining ``on_message``;
+* **handler branches** — per actor, per message kind, the ``isinstance``
+  branch body that handles it (first match wins, mirroring dispatch order);
+* **send sites** — every ``self.send(dst, msg)`` with the message kind
+  resolved through direct construction *or* a same-function variable
+  binding (``m = Ack(...); self.send(src, m)``);
+* **branch facts** — reply kinds sent from inside a branch, plain
+  ``self.attr = ...`` overwrites (split by whether the old value feeds the
+  new one), and whether the branch can *refuse* its input under a
+  limit/high-water guard without consuming it.
+
+The graph is memoised on :attr:`ProjectInfo.actor_cache` alongside the
+model cache, so CHR018/CHR019/CHR021 and the ``--graph`` dump share one
+extraction pass.  Everything is pure ``ast``; the scanned code is never
+imported.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from .dataflow import AnyFunc, class_methods
+from .model import terminal_name
+from .project import ModuleInfo, ProjectInfo
+
+#: Self-attribute names that look like an intake bound: a branch guarded by
+#: one of these and refusing the message is a backpressure edge.
+_LIMIT_ATTR_RE = re.compile(r"limit|max|high_water|capacity|bound")
+
+
+@dataclass(slots=True)
+class SendSite:
+    """One ``self.send(dst, msg)`` call with its resolved message kind."""
+
+    kind: str  #: message class name, or "" when unresolvable
+    method: str  #: enclosing method name
+    line: int
+    col: int
+
+
+@dataclass(slots=True)
+class AttrWrite:
+    """A plain ``self.attr = value`` inside a handler branch."""
+
+    attr: str
+    line: int
+    col: int
+    #: whether ``value`` mentions ``self.attr`` itself — a read-modify-write
+    #: (merge) keeps the current value alive; a blind overwrite does not.
+    reads_old: bool
+
+
+@dataclass(slots=True)
+class HandlerBranch:
+    """The dispatch branch of one actor class for one message kind."""
+
+    kinds: Tuple[str, ...]  #: every kind the isinstance test matches
+    line: int
+    col: int
+    #: message kinds sent from inside this branch (replies/forwards).
+    sends: List[SendSite] = field(default_factory=list)
+    #: plain self-attribute overwrites inside this branch.
+    writes: List[AttrWrite] = field(default_factory=list)
+    #: the branch contains a limit-guarded path that returns or forwards
+    #: without consuming the message (bounded intake that can refuse).
+    refusable: bool = False
+
+
+@dataclass(slots=True)
+class ActorClass:
+    """One class defining ``on_message``, with its extracted flow facts."""
+
+    name: str
+    module: ModuleInfo
+    line: int
+    col: int
+    node: ast.ClassDef
+    #: message kind -> the dispatch branch handling it (first match).
+    handles: Dict[str, HandlerBranch] = field(default_factory=dict)
+    #: every resolved ``self.send`` site in the class, any method.
+    sends: List[SendSite] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class ActorGraph:
+    """The whole-project cross-actor view shared by CHR018/CHR019/CHR021."""
+
+    actors: Dict[str, ActorClass] = field(default_factory=dict)
+    #: message kind -> actor class names whose on_message dispatches it.
+    receivers: Dict[str, List[str]] = field(default_factory=dict)
+    #: message kind -> actor class names with a send site for it.
+    senders: Dict[str, List[str]] = field(default_factory=dict)
+
+    def edges(self) -> List[Tuple[str, str, str]]:
+        """``(sender class, receiver class, kind)`` for every flow edge."""
+        result: List[Tuple[str, str, str]] = []
+        for kind, sender_names in sorted(self.senders.items()):
+            for receiver in self.receivers.get(kind, ()):
+                for sender in sender_names:
+                    result.append((sender, receiver, kind))
+        return result
+
+
+def _var_kinds(func: AnyFunc) -> Dict[str, str]:
+    """``m = Ack(...)`` bindings: variable name -> constructed class name."""
+    bindings: Dict[str, str] = {}
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        kind = terminal_name(node.value.func)
+        if kind is None or not kind[:1].isupper():
+            continue  # lowercase callees are helpers, not message classes
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                bindings[target.id] = kind
+    return bindings
+
+
+def _send_calls(
+    root: ast.AST, var_kinds: Dict[str, str], method: str
+) -> List[SendSite]:
+    """Every ``self.send(dst, msg)`` under ``root`` with its resolved kind."""
+    sites: List[SendSite] = []
+    for node in ast.walk(root):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "send"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+            and len(node.args) >= 2
+        ):
+            continue
+        arg = node.args[1]
+        kind = ""
+        if isinstance(arg, ast.Call):
+            kind = terminal_name(arg.func) or ""
+        elif isinstance(arg, ast.Name):
+            kind = var_kinds.get(arg.id, "")
+        sites.append(SendSite(kind, method, node.lineno, node.col_offset))
+    return sites
+
+
+def _isinstance_kinds(test: ast.expr, message_param: str) -> Tuple[str, ...]:
+    """Kinds an ``isinstance(message, ...)`` test matches (empty: not one)."""
+    kinds: List[str] = []
+    for node in ast.walk(test):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "isinstance"
+            and len(node.args) == 2
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id == message_param
+        ):
+            continue
+        spec = node.args[1]
+        elements = spec.elts if isinstance(spec, (ast.Tuple, ast.List)) else [spec]
+        for element in elements:
+            name = terminal_name(element)
+            if name:
+                kinds.append(name)
+    return tuple(kinds)
+
+
+def _attr_writes(body: Sequence[ast.stmt]) -> List[AttrWrite]:
+    """Plain ``self.attr = value`` statements anywhere under ``body``."""
+    writes: List[AttrWrite] = []
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                reads_old = any(
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr == target.attr
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == "self"
+                    for sub in ast.walk(node.value)
+                )
+                writes.append(
+                    AttrWrite(target.attr, node.lineno, node.col_offset, reads_old)
+                )
+    return writes
+
+
+def _reads_limit_attr(test: ast.expr) -> bool:
+    """Whether a guard expression consults an intake bound.
+
+    Either a ``self.<x>`` attribute whose name says limit/max/high-water, or
+    a ``len(...) >= ...`` style occupancy comparison.
+    """
+    for node in ast.walk(test):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and _LIMIT_ATTR_RE.search(node.attr)
+        ):
+            return True
+        if (
+            isinstance(node, ast.Compare)
+            and any(
+                isinstance(side, ast.Call)
+                and isinstance(side.func, ast.Name)
+                and side.func.id == "len"
+                for side in [node.left, *node.comparators]
+            )
+        ):
+            return True
+    return False
+
+
+def _consumes(body: Sequence[ast.stmt]) -> bool:
+    """Whether a guard body stores the message (append/extend/subscript)."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("append", "appendleft", "extend", "add", "put")
+            ):
+                return True
+            if isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Store):
+                return True
+    return False
+
+
+def _branch_refusable(body: Sequence[ast.stmt]) -> bool:
+    """A limit-guarded path in ``body`` that refuses instead of consuming.
+
+    Shape: ``if <test consulting a limit attr or len(...) comparison>:``
+    whose taken branch returns, or forwards via ``self.send``, without
+    storing the message locally.  That is the backpressure-refusal idiom —
+    legitimate alone, deadlock-prone when every edge of a cycle has one.
+    """
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.If) or not _reads_limit_attr(node.test):
+                continue
+            guarded = node.body
+            if _consumes(guarded):
+                continue
+            has_exit = any(
+                isinstance(sub, (ast.Return, ast.Continue))
+                for inner in guarded
+                for sub in ast.walk(inner)
+            )
+            has_forward = bool(_send_calls(ast.Module(body=list(guarded), type_ignores=[]), {}, ""))
+            if has_exit or has_forward:
+                return True
+    return False
+
+
+def _handler_branches(
+    func: AnyFunc, var_kinds: Dict[str, str]
+) -> List[HandlerBranch]:
+    """Every ``isinstance`` dispatch branch of one ``on_message`` body."""
+    args = func.args.args
+    message_param = args[2].arg if len(args) >= 3 else "message"
+    branches: List[HandlerBranch] = []
+
+    def visit(body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.If):
+                kinds = _isinstance_kinds(stmt.test, message_param)
+                if kinds:
+                    branch = HandlerBranch(
+                        kinds=kinds, line=stmt.lineno, col=stmt.col_offset
+                    )
+                    branch.sends = _send_calls(
+                        ast.Module(body=list(stmt.body), type_ignores=[]),
+                        var_kinds,
+                        func.name,
+                    )
+                    branch.writes = _attr_writes(stmt.body)
+                    branch.refusable = _branch_refusable(stmt.body)
+                    branches.append(branch)
+                    visit(stmt.orelse)
+                else:
+                    visit(stmt.body)
+                    visit(stmt.orelse)
+            elif isinstance(stmt, (ast.With, ast.Try)):
+                visit(stmt.body)
+                if isinstance(stmt, ast.Try):
+                    for handler in stmt.handlers:
+                        visit(handler.body)
+                    visit(stmt.orelse)
+                    visit(stmt.finalbody)
+            elif isinstance(stmt, (ast.For, ast.While)):
+                visit(stmt.body)
+                visit(stmt.orelse)
+
+    visit(func.body)
+    return branches
+
+
+def build_actor_graph(project: ProjectInfo) -> ActorGraph:
+    """Build (or return the memoised) :class:`ActorGraph` for a scan."""
+    cached = project.actor_cache
+    if isinstance(cached, ActorGraph):
+        return cached
+    graph = ActorGraph()
+    for module in project:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = class_methods(node)
+            handler = methods.get("on_message")
+            if handler is None:
+                continue
+            actor = ActorClass(
+                name=node.name,
+                module=module,
+                line=node.lineno,
+                col=node.col_offset,
+                node=node,
+            )
+            for method_name, func in sorted(methods.items()):
+                bindings = _var_kinds(func)
+                actor.sends.extend(_send_calls(func, bindings, method_name))
+                if func is handler:
+                    for branch in _handler_branches(func, bindings):
+                        for kind in branch.kinds:
+                            actor.handles.setdefault(kind, branch)
+            # A class name can repeat across modules (fixtures); keep the
+            # first occurrence, which matches sorted-scan determinism.
+            graph.actors.setdefault(node.name, actor)
+    for name in sorted(graph.actors):
+        actor = graph.actors[name]
+        for kind in actor.handles:
+            graph.receivers.setdefault(kind, []).append(name)
+        for site in actor.sends:
+            if site.kind:
+                existing = graph.senders.setdefault(site.kind, [])
+                if name not in existing:
+                    existing.append(name)
+    project.actor_cache = graph
+    return graph
+
+
+def actor_graph_dict(graph: ActorGraph) -> Dict[str, object]:
+    """The actor graph as a JSON-ready dict (merged into ``--graph json``)."""
+    actors: Dict[str, object] = {}
+    for name in sorted(graph.actors):
+        actor = graph.actors[name]
+        actors[name] = {
+            "module": actor.module.relpath,
+            "handles": {
+                kind: {
+                    "line": branch.line,
+                    "replies": sorted({s.kind for s in branch.sends if s.kind}),
+                    "refusable": branch.refusable,
+                }
+                for kind, branch in sorted(actor.handles.items())
+            },
+            "sends": sorted({s.kind for s in actor.sends if s.kind}),
+        }
+    edges = [
+        {"from": sender, "to": receiver, "kind": kind}
+        for sender, receiver, kind in graph.edges()
+    ]
+    return {"actors": actors, "edges": edges}
+
+
+__all__ = [
+    "ActorClass",
+    "ActorGraph",
+    "AttrWrite",
+    "HandlerBranch",
+    "SendSite",
+    "actor_graph_dict",
+    "build_actor_graph",
+]

@@ -13,6 +13,7 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set
 
+from .actors import actor_graph_dict, build_actor_graph
 from .baseline import apply_baseline, load_baseline, write_baseline
 from .findings import Finding
 from .model import build_model
@@ -20,6 +21,7 @@ from .noqa import is_suppressed
 from .project import ProjectInfo, scan
 from .rules import ALL_RULES, rules_by_code
 from .rules.noqa_audit import DeadNoqaRule
+from .sarif import render_sarif
 
 
 def run_rules(
@@ -101,9 +103,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text); sarif emits a SARIF 2.1.0 "
+        "document for code-scanning uploads",
     )
     parser.add_argument(
         "--select",
@@ -129,7 +132,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         choices=("json", "dot"),
         metavar="{json,dot}",
         help="dump the message-flow graph (messages + request types, with "
-        "construction/dispatch/send/handle sites) instead of linting",
+        "construction/dispatch/send/handle sites; json adds the cross-actor "
+        "send/handle graph) instead of linting",
     )
     args = parser.parse_args(argv)
 
@@ -153,7 +157,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.graph:
         model = build_model(project)
-        output = model.graph_json() if args.graph == "json" else model.graph_dot()
+        if args.graph == "json":
+            payload = model.graph_dict()
+            payload["actors"] = actor_graph_dict(build_actor_graph(project))
+            payload["version"] = 2  # 2 = message-flow graph + actors section
+            output = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        else:
+            output = model.graph_dot()
         print(output, end="")
         return 0
 
@@ -177,11 +187,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         findings, suppressed = apply_baseline(findings, baseline)
 
-    output = (
-        _render_json(findings, suppressed)
-        if args.format == "json"
-        else _render_text(findings, suppressed)
-    )
+    if args.format == "json":
+        output = _render_json(findings, suppressed)
+    elif args.format == "sarif":
+        output = render_sarif(findings, root=project.root)
+    else:
+        output = _render_text(findings, suppressed)
     print(output)
     return 1 if findings else 0
 

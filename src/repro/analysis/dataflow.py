@@ -26,11 +26,13 @@ from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Union
 AnyFunc = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
 #: Event kinds: ``read``/``write`` of a ``self`` attribute, an ``await``
-#: point, or an unresolved ``self.m(...)`` call placeholder.
+#: point, an unresolved ``self.m(...)`` call placeholder, or a message
+#: leaving the actor via ``self.send(...)``.
 READ = "read"
 WRITE = "write"
 AWAIT = "await"
 CALL = "call"
+SEND = "send"
 
 
 @dataclass(slots=True)
@@ -49,6 +51,15 @@ def class_methods(cls: ast.ClassDef) -> Dict[str, AnyFunc]:
         if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
             methods[stmt.name] = stmt
     return methods
+
+
+def _terminal(node: ast.AST) -> Union[str, None]:
+    """``cmsg.DraftBatch`` -> ``DraftBatch``; ``DraftBatch`` -> itself."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
 
 
 def _is_self_attr(node: ast.AST) -> bool:
@@ -179,6 +190,20 @@ class _EventWalker:
                 assert isinstance(func, ast.Attribute)
                 if func.attr in self._methods:
                     self._emit(CALL, func.attr, node, locked)
+                elif func.attr == "send":
+                    # ``self.send(dst, Msg(...))`` is the actor-boundary
+                    # crossing: emit a SEND event carrying the constructed
+                    # message's terminal name when it is syntactically
+                    # evident (empty otherwise; the cross-actor graph
+                    # resolves variable-bound messages by call site).
+                    kind_name = ""
+                    if len(node.args) >= 2 and isinstance(node.args[1], ast.Call):
+                        resolved = _terminal(node.args[1].func)
+                        if resolved is not None:
+                            kind_name = resolved
+                    self.events.append(
+                        Event(SEND, kind_name, node.lineno, node.col_offset, locked)
+                    )
                 else:
                     # ``self.loop.schedule(...)`` resolves through a data
                     # attribute; ``self.cb(...)`` calls a stored callable —

@@ -58,6 +58,11 @@ class ProjectInfo:
     #: every later rule and the ``--graph`` dump (kept ``Any`` to avoid a
     #: circular import with :mod:`repro.analysis.model`).
     model_cache: Optional[Any] = field(default=None, repr=False)
+    #: Memoised :class:`~repro.analysis.actors.ActorGraph` — the cross-actor
+    #: send/handle graph layered on top of the model, built once per scan by
+    #: the first cross-actor rule (CHR018/CHR019/CHR021) and shared with the
+    #: ``--graph`` dump (``Any`` for the same circular-import reason).
+    actor_cache: Optional[Any] = field(default=None, repr=False)
 
     def __iter__(self) -> Iterator[ModuleInfo]:
         return iter(self.modules)

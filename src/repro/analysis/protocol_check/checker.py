@@ -1,0 +1,131 @@
+"""Generic explicit-state model checker (bounded breadth-first search).
+
+A *model* is anything with three members:
+
+* ``initial()`` — the start state (any hashable value);
+* ``events(state)`` — ``(label, next_state)`` pairs for every event enabled
+  in ``state``;
+* ``invariants()`` — ``(name, predicate)`` pairs; a predicate returning
+  False in any reachable state is a violation.
+
+:func:`explore` enumerates the reachable state space breadth-first,
+checking every invariant in every state, and reconstructs a shortest
+counterexample trace (the event labels from the initial state) through
+parent pointers when one fails.  BFS order makes traces minimal, which is
+what makes them readable: the first violation found is the simplest way to
+reach it.
+
+The checker is deliberately model-agnostic — the multiproc machine
+(:mod:`.machine`), the hand-built buggy fixtures in the tests, and any
+future protocol all run through this one loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Protocol, Tuple
+
+State = Hashable
+
+
+class Model(Protocol):
+    """Structural interface every checkable protocol model implements."""
+
+    def initial(self) -> State: ...
+
+    def events(self, state: State) -> Iterable[Tuple[str, State]]: ...
+
+    def invariants(self) -> Iterable[Tuple[str, Callable[[State], bool]]]: ...
+
+
+@dataclass(slots=True)
+class Violation:
+    """One invariant failure with its shortest counterexample trace."""
+
+    invariant: str
+    trace: Tuple[str, ...]  #: event labels from the initial state
+    state: State  #: the violating state itself
+
+    def render(self) -> str:
+        steps = " -> ".join(self.trace) if self.trace else "<initial state>"
+        return f"invariant {self.invariant!r} violated after: {steps}"
+
+
+@dataclass(slots=True)
+class CheckResult:
+    """Outcome of one bounded exploration."""
+
+    states_explored: int
+    transitions: int
+    violations: List[Violation] = field(default_factory=list)
+    #: True when the whole reachable space fit under ``max_states`` — the
+    #: invariants are *proved* over the bounded machine, not just sampled.
+    complete: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _trace(
+    parents: Dict[State, Optional[Tuple[State, str]]], state: State
+) -> Tuple[str, ...]:
+    labels: List[str] = []
+    cursor: Optional[State] = state
+    while cursor is not None:
+        parent = parents[cursor]
+        if parent is None:
+            break
+        cursor, label = parent
+        labels.append(label)
+    return tuple(reversed(labels))
+
+
+def explore(
+    model: Model,
+    max_states: int = 500_000,
+    max_violations: int = 1,
+) -> CheckResult:
+    """Breadth-first exploration of ``model`` up to ``max_states`` states.
+
+    Stops early once ``max_violations`` invariant failures are collected
+    (their traces are already shortest, by BFS order).  ``complete`` is
+    False when the frontier was truncated by ``max_states`` — callers that
+    claim a *proof* must assert it.
+    """
+    invariants = list(model.invariants())
+    root = model.initial()
+    parents: Dict[State, Optional[Tuple[State, str]]] = {root: None}
+    queue: "deque[State]" = deque([root])
+    result = CheckResult(states_explored=0, transitions=0)
+
+    def check(state: State) -> bool:
+        for name, predicate in invariants:
+            if not predicate(state):
+                result.violations.append(
+                    Violation(name, _trace(parents, state), state)
+                )
+                if len(result.violations) >= max_violations:
+                    return False
+        return True
+
+    if not check(root):
+        result.states_explored = 1
+        return result
+    while queue:
+        state = queue.popleft()
+        result.states_explored += 1
+        for label, nxt in model.events(state):
+            result.transitions += 1
+            if nxt in parents:
+                continue
+            parents[nxt] = (state, label)
+            if not check(nxt):
+                result.states_explored += 1
+                return result
+            if len(parents) >= max_states:
+                result.complete = False
+                return result
+            queue.append(nxt)
+    return result

@@ -1,0 +1,313 @@
+"""The multiproc seq/ack/output-commit protocol as an explicit-state machine.
+
+This is a faithful, bounded abstraction of the PR 7 exactly-once path in
+``runtime/multiproc.py`` — one parent, one supervised worker, and the two
+directions of their TCP connection as FIFO channels:
+
+* **inject** — the parent admits a frame (``_admit_frame``): bump
+  ``delivery_seq``, stamp it into the frame, append to the retransmission
+  buffer, and queue it to the worker unless the slot is buffering.
+* **deliver** — the worker pops the head input frame (``_on_frame``):
+  duplicates (``seq <= delivered_seq``) are dropped; fresh frames advance
+  ``delivered_seq`` and produce one held output with the next emission id
+  (``_WorkerNode.send`` under supervision: output commit holds it).
+* **snapshot** — the worker captures ``(ack, emission, held)`` and queues
+  the snapshot *then* the held frames (``_snapshot``), so per TCP FIFO no
+  output overtakes the snapshot that covers it.  Skipped when nothing
+  changed, exactly like the ``_last_snap`` marker in the code.
+* **recv** — the parent pops the head of the worker channel
+  (``_route_frame``/``_on_snapshot``): a snapshot trims the unacked buffer
+  up to its ack; an output is deduplicated by ``emission_high``.
+* **crash** — SIGKILL: worker state and both channels vanish; the slot
+  starts buffering (``_mark_worker_down``).
+* **respawn** — ``_respawn_once``: restore from the last received snapshot
+  (delivered/emission counters reset to it — regenerated emissions reuse
+  the same ids, which is what makes the dedup sound), re-route the
+  snapshot's held outputs through the dedup, take the forced baseline
+  snapshot, retransmit every unacked input, stop buffering.  A retransmit
+  window that no longer starts at ``ack + 1`` is a replay gap.
+* **dup / reorder** — adversarial transport events: duplicate the head
+  input frame at the tail, or swap the first two input frames.  The
+  worker→parent direction stays FIFO by default because the output-commit
+  argument *depends* on it (the snapshot must precede the frames it
+  covers); ``reorder_wp=True`` lets a test demonstrate that assumption is
+  load-bearing.
+
+Invariants checked in every reachable state:
+
+* ``exactly_once`` — the parent-accepted emission-id sequence is strictly
+  increasing (no duplicate output is ever delivered twice);
+* ``bounded_retransmit`` — ``len(unacked) == delivery_seq - acked`` (the
+  buffer holds exactly the unacknowledged window, nothing leaks);
+* ``no_replay_gap`` — a respawn always retransmits from ``ack + 1``;
+* ``quiescent_complete`` — whenever the system is quiet (worker alive,
+  channels empty, nothing held) every emission the worker ever produced
+  has been accepted exactly once, in order.
+
+All counters are bounded by the config, so the reachable space is finite
+and :func:`~repro.analysis.protocol_check.checker.explore` terminates with
+``complete=True`` — a proof over the bounded machine, not a sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, NamedTuple, Tuple
+
+Snapshot = Tuple[int, int, Tuple[int, ...]]  #: (ack, emission, held ids)
+WpItem = Tuple[object, ...]  #: ("S", ack, emission, held) | ("O", emission id)
+
+
+class MPState(NamedTuple):
+    """One global state: parent slot + channels + worker, all hashable."""
+
+    delivery_seq: int
+    acked: int
+    unacked: Tuple[int, ...]
+    snap: Snapshot  #: last snapshot the parent *received*
+    emission_high: int
+    buffering: bool
+    accepted: Tuple[int, ...]  #: emission ids delivered to destinations
+    ch_pw: Tuple[int, ...]  #: parent -> worker input seqs in flight
+    ch_wp: Tuple[WpItem, ...]  #: worker -> parent snapshots/outputs in flight
+    w_alive: bool
+    w_delivered: int
+    w_emission: int
+    w_held: Tuple[int, ...]
+    w_last_snap: Tuple[int, int]
+    injected: int
+    dups: int
+    crashes: int
+    replay_gap: int
+
+
+@dataclass(frozen=True, slots=True)
+class MPConfig:
+    """Bounds on the adversary; they define the finite reachable space."""
+
+    max_injects: int = 3
+    max_dups: int = 1
+    max_crashes: int = 1
+    allow_reorder: bool = True
+    #: reorder the worker->parent channel too — breaks the TCP-FIFO
+    #: assumption output commit rests on; off everywhere except the test
+    #: that proves that assumption is load-bearing.
+    reorder_wp: bool = False
+
+
+def _quiescent(s: MPState) -> bool:
+    return (
+        s.w_alive
+        and not s.ch_pw
+        and not s.ch_wp
+        and not s.w_held
+        and s.w_last_snap == (s.w_delivered, s.w_emission)
+    )
+
+
+class MultiprocModel:
+    """Checkable model of the supervised single-worker multiproc protocol."""
+
+    def __init__(self, config: MPConfig = MPConfig()) -> None:
+        self.config = config
+
+    def initial(self) -> MPState:
+        return MPState(
+            delivery_seq=0,
+            acked=0,
+            unacked=(),
+            snap=(0, 0, ()),
+            emission_high=0,
+            buffering=False,
+            accepted=(),
+            ch_pw=(),
+            ch_wp=(),
+            w_alive=True,
+            w_delivered=0,
+            w_emission=0,
+            w_held=(),
+            w_last_snap=(0, 0),
+            injected=0,
+            dups=0,
+            crashes=0,
+            replay_gap=0,
+        )
+
+    # -- events ------------------------------------------------------------ #
+
+    def events(self, s: MPState) -> Iterable[Tuple[str, MPState]]:
+        cfg = self.config
+        out: List[Tuple[str, MPState]] = []
+        if s.injected < cfg.max_injects:
+            seq = s.delivery_seq + 1
+            out.append(
+                (
+                    f"inject({seq})",
+                    s._replace(
+                        delivery_seq=seq,
+                        unacked=s.unacked + (seq,),
+                        ch_pw=s.ch_pw if s.buffering else s.ch_pw + (seq,),
+                        injected=s.injected + 1,
+                    ),
+                )
+            )
+        if s.w_alive and s.ch_pw:
+            seq, rest = s.ch_pw[0], s.ch_pw[1:]
+            if seq <= s.w_delivered:
+                out.append((f"deliver({seq})=dup-dropped", s._replace(ch_pw=rest)))
+            else:
+                emission = s.w_emission + 1
+                out.append(
+                    (
+                        f"deliver({seq})",
+                        s._replace(
+                            ch_pw=rest,
+                            w_delivered=seq,
+                            w_emission=emission,
+                            w_held=s.w_held + (emission,),
+                        ),
+                    )
+                )
+        if s.w_alive and (
+            s.w_held or s.w_last_snap != (s.w_delivered, s.w_emission)
+        ):
+            snap: Snapshot = (s.w_delivered, s.w_emission, s.w_held)
+            items: Tuple[WpItem, ...] = (("S",) + snap,) + tuple(
+                ("O", e) for e in s.w_held
+            )
+            out.append(
+                (
+                    f"snapshot(ack={s.w_delivered})",
+                    s._replace(
+                        ch_wp=s.ch_wp + items,
+                        w_held=(),
+                        w_last_snap=(s.w_delivered, s.w_emission),
+                    ),
+                )
+            )
+        if s.ch_wp:
+            item, rest_wp = s.ch_wp[0], s.ch_wp[1:]
+            if item[0] == "S":
+                ack = item[1]
+                assert isinstance(ack, int)
+                unacked = s.unacked
+                while unacked and unacked[0] <= ack:
+                    unacked = unacked[1:]
+                out.append(
+                    (
+                        f"recv-snap(ack={ack})",
+                        s._replace(
+                            ch_wp=rest_wp,
+                            snap=(item[1], item[2], item[3]),  # type: ignore[arg-type]
+                            unacked=unacked,
+                            acked=ack,
+                        ),
+                    )
+                )
+            else:
+                eid = item[1]
+                assert isinstance(eid, int)
+                if eid <= s.emission_high:
+                    out.append(
+                        (f"recv-out({eid})=dup-dropped", s._replace(ch_wp=rest_wp))
+                    )
+                else:
+                    out.append(
+                        (
+                            f"recv-out({eid})",
+                            s._replace(
+                                ch_wp=rest_wp,
+                                emission_high=eid,
+                                accepted=s.accepted + (eid,),
+                            ),
+                        )
+                    )
+        if s.w_alive and s.ch_pw and s.dups < cfg.max_dups:
+            out.append(
+                (
+                    f"dup({s.ch_pw[0]})",
+                    s._replace(ch_pw=s.ch_pw + (s.ch_pw[0],), dups=s.dups + 1),
+                )
+            )
+        if (
+            cfg.allow_reorder
+            and len(s.ch_pw) >= 2
+            and s.ch_pw[0] != s.ch_pw[1]
+        ):
+            swapped = (s.ch_pw[1], s.ch_pw[0]) + s.ch_pw[2:]
+            out.append(("reorder-pw", s._replace(ch_pw=swapped)))
+        if cfg.reorder_wp and len(s.ch_wp) >= 2 and s.ch_wp[0] != s.ch_wp[1]:
+            swapped_wp = (s.ch_wp[1], s.ch_wp[0]) + s.ch_wp[2:]
+            out.append(("reorder-wp", s._replace(ch_wp=swapped_wp)))
+        if s.w_alive and s.crashes < cfg.max_crashes:
+            out.append(
+                (
+                    "crash",
+                    s._replace(
+                        w_alive=False,
+                        w_held=(),
+                        ch_pw=(),
+                        ch_wp=(),
+                        buffering=True,
+                        crashes=s.crashes + 1,
+                    ),
+                )
+            )
+        if not s.w_alive:
+            ack, emission, held = s.snap
+            accepted = s.accepted
+            high = s.emission_high
+            # Re-route the snapshot's held outputs through the dedup: the
+            # ones that escaped before the crash are dropped here.
+            for eid in held:
+                if eid > high:
+                    high = eid
+                    accepted = accepted + (eid,)
+            gap = 0
+            if s.unacked and s.unacked[0] > ack + 1:
+                gap = s.unacked[0] - ack - 1
+            baseline: WpItem = ("S", ack, emission, ())
+            out.append(
+                (
+                    "respawn",
+                    s._replace(
+                        w_alive=True,
+                        w_delivered=ack,
+                        w_emission=emission,
+                        w_held=(),
+                        w_last_snap=(ack, emission),
+                        ch_pw=s.unacked,
+                        ch_wp=(baseline,),
+                        emission_high=high,
+                        accepted=accepted,
+                        buffering=False,
+                        replay_gap=s.replay_gap + gap,
+                    ),
+                )
+            )
+        return out
+
+    # -- invariants ---------------------------------------------------------- #
+
+    def invariants(self) -> Iterable[Tuple[str, Callable[[MPState], bool]]]:
+        return [
+            (
+                "exactly_once",
+                lambda s: all(
+                    a < b for a, b in zip(s.accepted, s.accepted[1:])
+                ),
+            ),
+            (
+                "bounded_retransmit",
+                lambda s: len(s.unacked) == s.delivery_seq - s.acked,
+            ),
+            ("no_replay_gap", lambda s: s.replay_gap == 0),
+            (
+                "quiescent_complete",
+                lambda s: not _quiescent(s)
+                or s.accepted == tuple(range(1, s.w_emission + 1)),
+            ),
+        ]
+
+
+__all__ = ["MPConfig", "MPState", "MultiprocModel"]

@@ -1,0 +1,164 @@
+"""Declarative protocol state-machine format, pinned to the code by anchors.
+
+A :class:`ProtocolSpec` names the transitions of a protocol and, for each
+transition, the :class:`CodeAnchor` patterns that must hold in the real
+source for the model (:mod:`.machine`) to still be a faithful abstraction
+of it.  Anchors are deliberately coarse AST patterns — "``_admit_frame``
+bumps ``delivery_seq`` and appends to ``unacked``" — not line numbers:
+they survive refactors that preserve the protocol and fail loudly on ones
+that change it, which is the whole point.  When an anchor stops matching,
+CHR020 reports *spec drift* instead of silently verifying a machine the
+code no longer implements.
+
+Anchor pattern kinds (all matched anywhere inside the named method):
+
+========== ==========================================================
+kind        matches when the method contains …
+========== ==========================================================
+augassign   ``<x>.<attr> += …`` (an AugAssign targeting the attribute)
+assign      ``<x>.<attr> = …`` (plain or tuple-unpacked assignment)
+append      ``<x>.<attr>.append/appendleft(…)``
+method_call ``<x>.<attr>.<detail>(…)`` (e.g. ``unacked.popleft``)
+compare     a comparison with ``<x>.<attr>`` (or a subscript of it) on
+            either side (e.g. ``seq <= slot.emission_high``)
+call        any call of a function/method named ``<detail>``
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+ANCHOR_KINDS = ("augassign", "assign", "append", "method_call", "compare", "call")
+
+
+@dataclass(frozen=True, slots=True)
+class CodeAnchor:
+    """One AST pattern that must match inside ``cls.method``."""
+
+    cls: str  #: class name the method lives on
+    method: str  #: method name to search
+    kind: str  #: one of :data:`ANCHOR_KINDS`
+    attr: str = ""  #: attribute name the pattern involves (where relevant)
+    detail: str = ""  #: method/callee name for ``method_call``/``call``
+
+    def describe(self) -> str:
+        target = self.attr or self.detail
+        extra = f".{self.detail}()" if self.kind == "method_call" else ""
+        return f"{self.cls}.{self.method}: {self.kind} {target}{extra}"
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """One named protocol transition and the anchors pinning it to code."""
+
+    name: str
+    description: str
+    anchors: Tuple[CodeAnchor, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ProtocolSpec:
+    """A protocol: where its code lives and which transitions define it."""
+
+    name: str
+    #: relpath suffixes of the modules implementing the protocol.
+    module_suffixes: Tuple[str, ...]
+    #: class names that must all exist for the spec to apply to a scan
+    #: (fixture trees without them are simply out of scope).
+    required_classes: Tuple[str, ...]
+    transitions: Tuple[Transition, ...]
+
+    def all_anchors(self) -> Tuple[Tuple[str, CodeAnchor], ...]:
+        return tuple(
+            (t.name, anchor) for t in self.transitions for anchor in t.anchors
+        )
+
+
+def multiproc_spec() -> ProtocolSpec:
+    """The seq/ack/output-commit/respawn machine of ``runtime/multiproc.py``.
+
+    Transition names match the event labels of
+    :class:`~repro.analysis.protocol_check.machine.MultiprocModel`, so a
+    counterexample trace reads directly against this table.
+    """
+    return ProtocolSpec(
+        name="multiproc-exactly-once",
+        module_suffixes=("runtime/multiproc.py", "runtime/supervisor.py"),
+        required_classes=("MultiprocRuntime", "_WorkerNode"),
+        transitions=(
+            Transition(
+                name="inject",
+                description=(
+                    "parent admits a frame: bump delivery_seq, stamp it, "
+                    "append to the retransmission buffer"
+                ),
+                anchors=(
+                    CodeAnchor("MultiprocRuntime", "_admit_frame", "augassign", "delivery_seq"),
+                    CodeAnchor("MultiprocRuntime", "_admit_frame", "append", "unacked"),
+                ),
+            ),
+            Transition(
+                name="deliver",
+                description=(
+                    "worker dedups by delivered_seq, then dispatches; "
+                    "supervised sends get the next emission id and are held"
+                ),
+                anchors=(
+                    CodeAnchor("_WorkerNode", "_on_frame", "compare", "_delivered_seq"),
+                    CodeAnchor("_WorkerNode", "_on_frame", "assign", "_delivered_seq"),
+                    CodeAnchor("_WorkerNode", "send", "augassign", "_emission"),
+                    CodeAnchor("_WorkerNode", "send", "append", "_held"),
+                ),
+            ),
+            Transition(
+                name="snapshot",
+                description=(
+                    "worker captures (ack, emission, state, held), queues the "
+                    "snapshot, then releases the held outputs (output commit)"
+                ),
+                anchors=(
+                    CodeAnchor("_WorkerNode", "_snapshot", "assign", "_held"),
+                    CodeAnchor("_WorkerNode", "_snapshot", "call", detail="_reply"),
+                ),
+            ),
+            Transition(
+                name="recv",
+                description=(
+                    "parent trims the retransmission buffer up to the "
+                    "snapshot ack and dedups outputs by emission_high"
+                ),
+                anchors=(
+                    CodeAnchor("MultiprocRuntime", "_on_snapshot", "method_call", "unacked", "popleft"),
+                    CodeAnchor("MultiprocRuntime", "_on_snapshot", "assign", "acked"),
+                    CodeAnchor("MultiprocRuntime", "_route_frame", "compare", "emission_high"),
+                    CodeAnchor("MultiprocRuntime", "_route_frame", "assign", "emission_high"),
+                ),
+            ),
+            Transition(
+                name="crash",
+                description="a detected death closes the conn and buffers the slot",
+                anchors=(
+                    CodeAnchor("MultiprocRuntime", "_mark_worker_down", "assign", "buffering"),
+                    CodeAnchor("MultiprocRuntime", "_mark_worker_down", "assign", "failed"),
+                ),
+            ),
+            Transition(
+                name="respawn",
+                description=(
+                    "restore from the last snapshot, re-route its held "
+                    "outputs through the dedup, account any replay gap, "
+                    "retransmit the unacked window"
+                ),
+                anchors=(
+                    CodeAnchor("MultiprocRuntime", "_respawn_once", "call", detail="_route_frame"),
+                    CodeAnchor("MultiprocRuntime", "_respawn_once", "method_call", "conn", "queue"),
+                    CodeAnchor("MultiprocRuntime", "_respawn_once", "assign", "buffering"),
+                ),
+            ),
+        ),
+    )
+
+
+__all__ = ["ANCHOR_KINDS", "CodeAnchor", "ProtocolSpec", "Transition", "multiproc_spec"]

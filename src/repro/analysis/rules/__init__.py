@@ -11,10 +11,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Type
 
+from ..protocol_check.rule import ProtocolInvariantRule
 from .async_safety import BlockingAsyncRule
 from .atomicity import AwaitAtomicityRule
 from .base import ModuleRule, Rule
 from .buffers import UnboundedBufferRule
+from .cross_actor import BackpressureCycleRule, CrossActorRaceRule, SilentDropRule
 from .deadcode import OrphanMessageRule
 from .determinism import IterationOrderRule, UnseededRandomRule, WallClockRule
 from .dispatch import RequestDispatchRule
@@ -46,6 +48,10 @@ ALL_RULES: List[Type[Rule]] = [
     ReplyShapeRule,  # CHR015
     SupervisorProtocolRule,  # CHR016
     DeadNoqaRule,  # CHR017
+    CrossActorRaceRule,  # CHR018
+    SilentDropRule,  # CHR019
+    ProtocolInvariantRule,  # CHR020
+    BackpressureCycleRule,  # CHR021
 ]
 
 
@@ -64,15 +70,19 @@ __all__ = [
     "Rule",
     "rules_by_code",
     "AwaitAtomicityRule",
+    "BackpressureCycleRule",
     "BlockingAsyncRule",
     "BlockingSocketRule",
+    "CrossActorRaceRule",
     "DeadNoqaRule",
     "IterationOrderRule",
     "OrphanMessageRule",
     "ProtocolDispatchRule",
+    "ProtocolInvariantRule",
     "ProtocolRegistrationRule",
     "ReplyShapeRule",
     "RequestDispatchRule",
+    "SilentDropRule",
     "SlotsRule",
     "SupervisorProtocolRule",
     "SwallowedExceptionRule",

@@ -1,0 +1,294 @@
+"""CHR018/CHR019 — races and liveness across the actor boundary.
+
+The intra-class dataflow walk (CHR010) stops at ``self.send``: whatever the
+receiving actor does to the sender's world happens in a later activation it
+never sees.  These two rules follow the edge, using the cross-actor graph
+(:mod:`repro.analysis.actors`) to resolve who can receive each kind.
+
+* **CHR018 cross-actor lost update.**  A method on the hot path reads
+  ``self.x`` and then sends message ``M``.  Some receiver's handler branch
+  for ``M`` replies with ``R``; the sender's own handler branch for ``R``
+  *blindly overwrites* ``self.x`` (a plain ``self.x = value`` whose value
+  does not mention ``self.x``).  The read and the overwrite straddle a full
+  round trip — any write to ``x`` between them is silently lost, and the
+  decision taken from the read is stale by the time the reply lands.
+  Merging handlers (``self.x = merge(self.x, reply.y)``) incorporate the
+  current value and are exempt; so is the degenerate case where the reply
+  branch itself is the only reader.
+
+* **CHR019 state-guarded silent drop.**  An ``on_message`` body (or one of
+  its dispatch branches) bails out on a pure state guard — ``if
+  self._parked: return`` — with no send, no raise, no self-state write, no
+  call.  Every message kind the flow graph routes to this actor can arrive
+  while that state holds (parked, draining, pre-start) and vanishes without
+  a trace: no counter, no dead-letter, no log.  The fix is to account for
+  the drop (bump a counter, forward, raise), which also satisfies the rule.
+
+Both rules only consider classes that define ``on_message`` (actors), so
+ordinary classes and partial fixture trees stay out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..actors import ActorClass, ActorGraph, build_actor_graph
+from ..dataflow import (
+    EXPAND_DEPTH,
+    READ,
+    SEND,
+    class_methods,
+    expand_events,
+    method_events,
+    reachable_within,
+    self_call_graph,
+)
+from ..findings import Finding
+from ..project import ProjectInfo
+from .base import Rule
+
+#: Hot-path roots: activations the runtime invokes directly.
+_ROOTS = ("on_message", "on_start")
+
+
+def _reads_before_sends(actor: ActorClass) -> Dict[str, Set[str]]:
+    """``message kind -> self attributes read before some send of it``.
+
+    Events are taken per hot-path method (reachable from ``on_message`` /
+    ``on_start`` within the standard hop bound), expanded through same-class
+    helpers, so a read in ``on_message`` that funnels into a send inside a
+    depth-3 helper still counts.
+    """
+    methods = class_methods(actor.node)
+    graph = self_call_graph(actor.node)
+    hot = reachable_within(graph, _ROOTS, EXPAND_DEPTH)
+    summaries = {
+        name: method_events(func, methods) for name, func in methods.items()
+    }
+    result: Dict[str, Set[str]] = {}
+    for name in sorted(hot):
+        events = expand_events(summaries.get(name, []), summaries)
+        seen_reads: Set[str] = set()
+        for event in events:
+            if event.kind == READ:
+                seen_reads.add(event.attr)
+            elif event.kind == SEND and seen_reads:
+                kind = event.attr or _kind_at(actor, event.line, event.col)
+                if kind:
+                    result.setdefault(kind, set()).update(seen_reads)
+    return result
+
+
+def _kind_at(actor: ActorClass, line: int, col: int) -> str:
+    """Resolve a variable-bound send's kind via the actor's send-site table."""
+    for site in actor.sends:
+        if site.line == line and site.col == col:
+            return site.kind
+    return ""
+
+
+class CrossActorRaceRule(Rule):
+    """CHR018: field read before a send, blindly rewritten by the reply path."""
+
+    code = "CHR018"
+    name = "cross-actor-lost-update"
+    description = (
+        "An actor reads a field, sends a message, and its own handler for "
+        "the receiver's reply plainly overwrites that same field without "
+        "reading the current value — the read is stale by the time the "
+        "reply lands and intervening writes are lost across the round trip."
+    )
+
+    def check(self, project: ProjectInfo) -> Iterator[Finding]:
+        graph = build_actor_graph(project)
+        reported: Set[Tuple[str, str, str, str]] = set()
+        for sender_name in sorted(graph.actors):
+            sender = graph.actors[sender_name]
+            pre_send_reads = _reads_before_sends(sender)
+            if not pre_send_reads:
+                continue
+            for kind in sorted(pre_send_reads):
+                reads = pre_send_reads[kind]
+                for receiver_name in graph.receivers.get(kind, ()):
+                    receiver = graph.actors[receiver_name]
+                    branch = receiver.handles.get(kind)
+                    if branch is None:
+                        continue
+                    reply_kinds = sorted({s.kind for s in branch.sends if s.kind})
+                    for reply in reply_kinds:
+                        reply_branch = sender.handles.get(reply)
+                        if reply_branch is None:
+                            continue
+                        for write in reply_branch.writes:
+                            if write.attr not in reads or write.reads_old:
+                                continue
+                            key = (sender_name, write.attr, kind, reply)
+                            if key in reported:
+                                continue
+                            reported.add(key)
+                            yield self.finding(
+                                sender.module,
+                                write.line,
+                                write.col,
+                                f"{sender_name} reads self.{write.attr} "
+                                f"before sending {kind}, and its handler "
+                                f"for the {receiver_name} reply {reply} "
+                                f"blindly overwrites self.{write.attr} — "
+                                "the pre-send read is stale across the "
+                                "round trip and concurrent writes are lost",
+                            )
+
+
+def _is_silent_return(body: List[ast.stmt]) -> bool:
+    """``return`` / ``return None`` and nothing else: a trace-free drop."""
+    if len(body) != 1 or not isinstance(body[0], ast.Return):
+        return False
+    value = body[0].value
+    return value is None or (
+        isinstance(value, ast.Constant) and value.value is None
+    )
+
+
+def _pure_state_guard(test: ast.expr, message_param: str, sender_param: str) -> bool:
+    """Whether a guard reads actor state and nothing message-dependent."""
+    saw_self_attr = False
+    for node in ast.walk(test):
+        if isinstance(node, ast.Name) and node.id in (message_param, sender_param):
+            return False  # content/sender-dependent: a semantic filter
+        if isinstance(node, ast.Call):
+            func_name = node.func
+            if isinstance(func_name, ast.Name) and func_name.id == "isinstance":
+                return False  # dispatch, not state
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and isinstance(node.ctx, ast.Load)
+        ):
+            saw_self_attr = True
+    return saw_self_attr
+
+
+class SilentDropRule(Rule):
+    """CHR019: state guards in on_message that drop messages without a trace."""
+
+    code = "CHR019"
+    name = "handler-silent-drop"
+    description = (
+        "An on_message dispatch path bails out on a pure actor-state guard "
+        "(parked/draining/pre-start) with a bare return — every message "
+        "kind routed to this actor can arrive in that state and is dropped "
+        "with no counter, forward, or log; account for the drop instead."
+    )
+
+    def check(self, project: ProjectInfo) -> Iterator[Finding]:
+        graph = build_actor_graph(project)
+        for name in sorted(graph.actors):
+            actor = graph.actors[name]
+            arriving = sorted(
+                kind
+                for kind in actor.handles
+                if name in graph.receivers.get(kind, ())
+                and graph.senders.get(kind)
+            )
+            if not arriving:
+                continue  # nothing provably routed here: partial tree
+            handler = class_methods(actor.node).get("on_message")
+            if handler is None:
+                continue
+            args = handler.args.args
+            sender_param = args[1].arg if len(args) >= 2 else "sender"
+            message_param = args[2].arg if len(args) >= 3 else "message"
+            for node in ast.walk(handler):
+                if not isinstance(node, ast.If):
+                    continue
+                if not _is_silent_return(node.body):
+                    continue
+                if not _pure_state_guard(node.test, message_param, sender_param):
+                    continue
+                shown = ", ".join(arriving[:4])
+                if len(arriving) > 4:
+                    shown += ", …"
+                yield self.finding(
+                    actor.module,
+                    node.lineno,
+                    node.col_offset,
+                    f"{name}.on_message drops messages on a state guard "
+                    f"with a bare return — {shown} can arrive in this "
+                    "state and vanish untraced; count, forward, or log "
+                    "the drop",
+                )
+
+
+def _simple_cycles(
+    edges: Dict[str, Set[str]], max_len: int = 6
+) -> List[Tuple[str, ...]]:
+    """Bounded simple-cycle enumeration (canonicalised, deterministic)."""
+    cycles: Set[Tuple[str, ...]] = set()
+
+    def canonical(path: Tuple[str, ...]) -> Tuple[str, ...]:
+        pivot = min(range(len(path)), key=lambda i: path[i])
+        return path[pivot:] + path[:pivot]
+
+    def walk(start: str, node: str, path: Tuple[str, ...]) -> None:
+        for nxt in sorted(edges.get(node, ())):
+            if nxt == start:
+                cycles.add(canonical(path))
+            elif nxt not in path and len(path) < max_len:
+                walk(start, nxt, path + (nxt,))
+
+    for start in sorted(edges):
+        walk(start, start, (start,))
+    return sorted(cycles)
+
+
+class BackpressureCycleRule(Rule):
+    """CHR021: stage-graph cycles where every edge's intake can refuse."""
+
+    code = "CHR021"
+    name = "backpressure-deadlock"
+    description = (
+        "A cycle in the actor stage graph where every edge's handler is "
+        "limit-guarded and refuses (returns/forwards) instead of consuming "
+        "when full — all the bounded buffers can fill simultaneously and "
+        "every stage then waits on the next, a backpressure deadlock; at "
+        "least one edge of a cycle must always consume (an always-accepted "
+        "control kind, like the queue token, breaks the cycle)."
+    )
+
+    def check(self, project: ProjectInfo) -> Iterator[Finding]:
+        graph = build_actor_graph(project)
+        # adjacency restricted to refusable edges: A -> B when *every* kind
+        # A sends to B is handled by a refusable branch (one always-accepted
+        # kind on the edge lets the receiver drain and breaks the cycle).
+        edge_kinds: Dict[Tuple[str, str], List[str]] = {}
+        for sender, receiver, kind in graph.edges():
+            edge_kinds.setdefault((sender, receiver), []).append(kind)
+        refusable_adj: Dict[str, Set[str]] = {}
+        for (sender, receiver), kinds in edge_kinds.items():
+            receiver_actor = graph.actors[receiver]
+            if all(
+                receiver_actor.handles[k].refusable
+                for k in kinds
+                if k in receiver_actor.handles
+            ):
+                refusable_adj.setdefault(sender, set()).add(receiver)
+        for cycle in _simple_cycles(refusable_adj):
+            first = graph.actors[cycle[0]]
+            second = cycle[1 % len(cycle)]
+            kinds = edge_kinds.get((cycle[0], second), [])
+            branch = graph.actors[second].handles.get(kinds[0]) if kinds else None
+            site_module = graph.actors[second].module
+            line = branch.line if branch else first.line
+            col = branch.col if branch else first.col
+            ring = " -> ".join(cycle + (cycle[0],))
+            yield self.finding(
+                site_module,
+                line,
+                col,
+                f"backpressure cycle {ring}: every edge's intake is "
+                "limit-guarded and can refuse without consuming — all "
+                "buffers full deadlocks the ring; make at least one edge "
+                "always consume its control kind",
+            )

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import ast
 import json
+import time
 import tomllib
 from pathlib import Path
 
@@ -1549,3 +1550,332 @@ class TestSupervisionCallGraph:
         assert "_respawn_worker" in shallow
         assert "_respawn_once" not in shallow
         assert "_respawn_once" in deep
+
+
+# --------------------------------------------------------------------- #
+# CHR018 — cross-actor lost update
+# --------------------------------------------------------------------- #
+
+_XACTOR_RACE = """\
+class Credit:
+    def __init__(self, amount):
+        self.amount = amount
+
+class CreditReply:
+    def __init__(self, total):
+        self.total = total
+
+class Banker:
+    def on_message(self, sender, message):
+        if isinstance(message, Credit):
+            self.send(sender, CreditReply(message.amount + 1))
+
+class Teller:
+    def __init__(self):
+        self.balance = 0
+
+    def on_message(self, sender, message):
+        if isinstance(message, CreditReply):
+            self.balance = message.total
+            return
+        self.deposit(sender)
+
+    def deposit(self, sender):
+        snapshot = self.balance
+        self.send(sender, Credit(snapshot))
+"""
+
+
+class TestCrossActorRaceRule:
+    def test_blind_reply_overwrite_fires(self, tmp_path):
+        findings = lint(tmp_path, {"app.py": _XACTOR_RACE}, select=["CHR018"])
+        assert codes(findings) == ["CHR018"]
+        message = findings[0].message
+        assert "Teller" in message and "balance" in message
+        assert "Credit" in message and "CreditReply" in message
+
+    def test_merging_reply_handler_is_clean(self, tmp_path):
+        source = _XACTOR_RACE.replace(
+            "self.balance = message.total",
+            "self.balance = self.balance + message.total",
+        )
+        findings = lint(tmp_path, {"app.py": source}, select=["CHR018"])
+        assert findings == []
+
+    def test_read_without_send_is_clean(self, tmp_path):
+        source = _XACTOR_RACE.replace(
+            "self.send(sender, Credit(snapshot))", "self.log(snapshot)"
+        )
+        findings = lint(tmp_path, {"app.py": source}, select=["CHR018"])
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        source = _XACTOR_RACE.replace(
+            "self.balance = message.total",
+            "self.balance = message.total  # chariots: noqa=CHR018",
+        )
+        findings = lint(tmp_path, {"app.py": source}, select=["CHR018"])
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# CHR019 — silent state-guard drops
+# --------------------------------------------------------------------- #
+
+_SILENT_DROP = """\
+class Tick:
+    pass
+
+class Clock:
+    def on_message(self, sender, message):
+        self.send(self.peer, Tick())
+
+class Worker:
+    def __init__(self):
+        self.parked = False
+
+    def on_message(self, sender, message):
+        if self.parked:
+            return
+        if isinstance(message, Tick):
+            self.advance()
+
+    def advance(self):
+        pass
+"""
+
+
+class TestSilentDropRule:
+    def test_state_guard_with_bare_return_fires(self, tmp_path):
+        findings = lint(tmp_path, {"app.py": _SILENT_DROP}, select=["CHR019"])
+        assert codes(findings) == ["CHR019"]
+        assert "Worker.on_message" in findings[0].message
+        assert "Tick" in findings[0].message
+
+    def test_counted_drop_is_clean(self, tmp_path):
+        source = _SILENT_DROP.replace(
+            "        if self.parked:\n            return\n",
+            "        if self.parked:\n"
+            "            self.dropped += 1\n"
+            "            return\n",
+        )
+        findings = lint(tmp_path, {"app.py": source}, select=["CHR019"])
+        assert findings == []
+
+    def test_unprovable_arrival_is_clean(self, tmp_path):
+        source = _SILENT_DROP.replace("self.send(self.peer, Tick())", "pass")
+        findings = lint(tmp_path, {"app.py": source}, select=["CHR019"])
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        source = _SILENT_DROP.replace(
+            "if self.parked:",
+            "if self.parked:  # chariots: noqa=CHR019",
+        )
+        findings = lint(tmp_path, {"app.py": source}, select=["CHR019"])
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# CHR021 — backpressure deadlock cycles
+# --------------------------------------------------------------------- #
+
+_BACKPRESSURE_CYCLE = """\
+class Up:
+    pass
+
+class Down:
+    pass
+
+class StageA:
+    def __init__(self):
+        self.queue = []
+        self.limit = 4
+
+    def on_message(self, sender, message):
+        if isinstance(message, Up):
+            if len(self.queue) >= self.limit:
+                return
+            self.queue.append(message)
+            self.send(sender, Down())
+
+class StageB:
+    def __init__(self):
+        self.pending = []
+        self.max_pending = 4
+
+    def on_message(self, sender, message):
+        if isinstance(message, Down):
+            if len(self.pending) >= self.max_pending:
+                return
+            self.pending.append(message)
+            self.send(sender, Up())
+"""
+
+
+class TestBackpressureCycleRule:
+    def test_all_refusable_ring_fires(self, tmp_path):
+        findings = lint(
+            tmp_path, {"app.py": _BACKPRESSURE_CYCLE}, select=["CHR021"]
+        )
+        assert codes(findings) == ["CHR021"]
+        assert "StageA -> StageB -> StageA" in findings[0].message
+
+    def test_one_always_consuming_edge_breaks_the_cycle(self, tmp_path):
+        source = _BACKPRESSURE_CYCLE.replace(
+            "            if len(self.pending) >= self.max_pending:\n"
+            "                return\n",
+            "",
+        )
+        findings = lint(tmp_path, {"app.py": source}, select=["CHR021"])
+        assert findings == []
+
+    def test_acyclic_refusable_edges_are_clean(self, tmp_path):
+        source = _BACKPRESSURE_CYCLE.replace("self.send(sender, Up())", "pass")
+        findings = lint(tmp_path, {"app.py": source}, select=["CHR021"])
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        # The finding lands on the receiving branch of the cycle's first
+        # edge (StageA -> StageB carries Down), so the directive goes there.
+        source = _BACKPRESSURE_CYCLE.replace(
+            "        if isinstance(message, Down):",
+            "        if isinstance(message, Down):  # chariots: noqa=CHR021",
+        )
+        findings = lint(tmp_path, {"app.py": source}, select=["CHR021"])
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# CHR016 — explicit drain/restart terminals
+# --------------------------------------------------------------------- #
+
+_EXIT_DRAIN = """\
+class Supervisor:
+    def check(self, wid, proc):
+        if proc.exitcode is not None:
+            self.drain_worker(wid)
+"""
+
+
+class TestSupervisionExplicitTerminals:
+    def test_drain_worker_is_a_recognised_terminal(self, tmp_path):
+        findings = lint(
+            tmp_path, {"runtime/sup.py": _EXIT_DRAIN}, select=["CHR016"]
+        )
+        assert findings == []
+
+    def test_restart_worker_is_a_recognised_terminal(self, tmp_path):
+        source = _EXIT_DRAIN.replace("drain_worker", "restart_worker")
+        findings = lint(
+            tmp_path, {"runtime/sup.py": source}, select=["CHR016"]
+        )
+        assert findings == []
+
+    def test_unlisted_drain_shorthand_still_fires(self, tmp_path):
+        """Exact-name matching, not substring: a bare ``drain`` call is
+        neither in TERMINAL_METHODS nor matched by the heuristic."""
+        source = _EXIT_DRAIN.replace("self.drain_worker(wid)", "self.drain(wid)")
+        findings = lint(
+            tmp_path, {"runtime/sup.py": source}, select=["CHR016"]
+        )
+        assert codes(findings) == ["CHR016"]
+
+    def test_terminal_methods_name_real_entry_points(self):
+        from repro.analysis.rules.supervision import TERMINAL_METHODS
+
+        source = (
+            REPO_ROOT / "src" / "repro" / "runtime" / "multiproc.py"
+        ).read_text()
+        for name in sorted(TERMINAL_METHODS):
+            assert f"def {name}(" in source, name
+
+
+# --------------------------------------------------------------------- #
+# SARIF output
+# --------------------------------------------------------------------- #
+
+
+class TestSarifOutput:
+    def _write(self, tmp_path, source):
+        root = tmp_path / "proj"
+        root.mkdir()
+        (root / "app.py").write_text(source)
+        return root
+
+    def test_findings_render_as_sarif(self, tmp_path, capsys):
+        root = self._write(tmp_path, _XACTOR_RACE)
+        code = analysis_main(
+            [str(root), "--select", "CHR018", "--format", "sarif"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.analysis"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == sorted(rule_ids) and "CHR018" in rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "CHR018"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+        assert result["partialFingerprints"]["chariotsFingerprint/v1"]
+
+    def test_sarif_columns_are_one_based(self, tmp_path):
+        from repro.analysis.sarif import sarif_dict
+
+        root = self._write(tmp_path, _XACTOR_RACE)
+        findings = run_rules(scan([root]), select=["CHR018"])
+        doc = sarif_dict(findings)
+        region = doc["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        assert region["startColumn"] == findings[0].col + 1
+
+    def test_clean_tree_is_exit_zero_with_empty_results(self, tmp_path, capsys):
+        root = self._write(tmp_path, "x = 1\n")
+        assert analysis_main([str(root), "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"] == []
+
+
+# --------------------------------------------------------------------- #
+# Actor graph export + memoisation + wall-clock budget
+# --------------------------------------------------------------------- #
+
+
+class TestActorGraphExport:
+    def test_graph_json_includes_actor_section(self, tmp_path, capsys):
+        root = tmp_path / "proj"
+        root.mkdir()
+        (root / "app.py").write_text(_BACKPRESSURE_CYCLE)
+        assert analysis_main([str(root), "--graph", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 2
+        actors = payload["actors"]
+        assert set(actors["actors"]) == {"StageA", "StageB"}
+        assert {"from": "StageA", "to": "StageB", "kind": "Down"} in actors[
+            "edges"
+        ]
+        assert actors["actors"]["StageA"]["handles"]["Up"]["refusable"]
+
+    def test_actor_graph_is_memoised_per_scan(self):
+        from repro.analysis.actors import build_actor_graph
+
+        project = scan([REPO_ROOT / "src"])
+        first = build_actor_graph(project)
+        assert build_actor_graph(project) is first
+        assert project.actor_cache is first
+
+
+class TestAnalysisWallClock:
+    def test_full_run_stays_under_budget(self):
+        """Regression guard: a full scan + every rule (including CHR020's
+        in-lint model check and the memoised actor graph) must stay well
+        under CI's patience.  Locally this runs in ~3s; the 20s budget
+        absorbs slow shared runners without hiding a blow-up."""
+        start = time.perf_counter()
+        findings = run_rules(scan([REPO_ROOT / "src"]))
+        elapsed = time.perf_counter() - start
+        assert findings == []
+        assert elapsed < 20.0, f"full analysis run took {elapsed:.1f}s"

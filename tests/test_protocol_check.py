@@ -1,0 +1,253 @@
+"""Tests for the explicit-state protocol checker (``repro.analysis.protocol_check``).
+
+Four layers, four sections: the generic BFS checker against a hand-built
+three-state machine with a known dup-delivery bug (the counterexample
+trace must name it); the multiproc machine explored exhaustively under
+dup + reorder + crash + respawn (a proof over the bounded space, asserted
+via ``complete``); the FIFO assumption shown to be load-bearing by
+switching on worker→parent reordering; and the spec/extractor cross-check
+run over the *real* ``runtime/multiproc.py`` sources plus a mutated copy
+that must register as drift.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis import run_rules, scan
+from repro.analysis.protocol_check import (
+    CheckResult,
+    MPConfig,
+    MultiprocModel,
+    Violation,
+    anchor_matches,
+    check_anchors,
+    explore,
+    locate_classes,
+    multiproc_spec,
+)
+from repro.analysis.protocol_check.spec import CodeAnchor
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# --------------------------------------------------------------------- #
+# Generic checker on a hand-built buggy machine
+# --------------------------------------------------------------------- #
+
+
+class BuggyDupMachine:
+    """Three-state sender with a seeded dup-delivery bug.
+
+    The receiver counts every arrival but never dedups, so delivering a
+    duplicated message applies it twice — ``at_most_once`` must fail, and
+    the shortest counterexample is exactly send -> dup -> deliver -> deliver.
+
+    State: (in_flight copies, applied count).
+    """
+
+    def initial(self):
+        return (0, 0)
+
+    def events(self, state):
+        in_flight, applied = state
+        out = []
+        if in_flight == 0 and applied == 0:
+            out.append(("send", (1, applied)))
+        if in_flight == 1:
+            out.append(("dup", (2, applied)))
+        if in_flight > 0:
+            out.append(("deliver", (in_flight - 1, applied + 1)))
+        return out
+
+    def invariants(self):
+        return [("at_most_once", lambda s: s[1] <= 1)]
+
+
+class TestGenericChecker:
+    def test_buggy_machine_yields_shortest_counterexample(self):
+        result = explore(BuggyDupMachine())
+        assert not result.ok
+        assert result.complete
+        violation = result.violations[0]
+        assert violation.invariant == "at_most_once"
+        assert violation.trace == ("send", "dup", "deliver", "deliver")
+        assert violation.state == (0, 2)
+
+    def test_render_reads_as_a_trace(self):
+        violation = explore(BuggyDupMachine()).violations[0]
+        assert violation.render() == (
+            "invariant 'at_most_once' violated after: "
+            "send -> dup -> deliver -> deliver"
+        )
+
+    def test_root_violation_renders_initial_state(self):
+        violation = Violation("inv", (), state=None)
+        assert "<initial state>" in violation.render()
+
+    def test_truncation_clears_complete(self):
+        result = explore(BuggyDupMachine(), max_states=2, max_violations=99)
+        assert not result.complete
+
+    def test_clean_machine_is_ok_and_complete(self):
+        class Clean:
+            def initial(self):
+                return 0
+
+            def events(self, state):
+                return [("tick", min(state + 1, 3))]
+
+            def invariants(self):
+                return [("bounded", lambda s: s <= 3)]
+
+        result = explore(Clean())
+        assert result.ok and result.complete
+        assert result.states_explored == 4
+
+
+# --------------------------------------------------------------------- #
+# The multiproc machine: exhaustive runs
+# --------------------------------------------------------------------- #
+
+
+class TestMultiprocModel:
+    def test_exhaustive_under_dup_reorder_crash_respawn(self):
+        """The headline proof: >=10^4 states, fully explored, no violations."""
+        config = MPConfig(max_injects=4, max_dups=2, max_crashes=2)
+        result = explore(MultiprocModel(config), max_states=500_000)
+        assert isinstance(result, CheckResult)
+        assert result.complete, "state space must be exhausted, not sampled"
+        assert result.ok, "\n".join(v.render() for v in result.violations)
+        assert result.states_explored >= 10_000
+        assert result.transitions > result.states_explored
+
+    def test_lint_sized_run_is_complete_and_fast(self):
+        from repro.analysis.protocol_check.rule import LINT_CONFIG
+
+        result = explore(MultiprocModel(LINT_CONFIG), max_states=100_000)
+        assert result.complete and result.ok
+        assert result.states_explored < 100_000
+
+    def test_crash_free_run_accepts_everything_in_order(self):
+        config = MPConfig(max_injects=3, max_dups=1, max_crashes=0)
+        result = explore(MultiprocModel(config), max_states=200_000)
+        assert result.complete and result.ok
+
+    def test_wp_reorder_breaks_output_commit(self):
+        """The TCP-FIFO assumption is load-bearing: reordering the
+        worker->parent channel lets an output overtake a later one and be
+        dropped as a duplicate — the machine must catch that."""
+        config = MPConfig(
+            max_injects=2,
+            max_dups=0,
+            max_crashes=1,
+            allow_reorder=False,
+            reorder_wp=True,
+        )
+        result = explore(
+            MultiprocModel(config), max_states=200_000, max_violations=5
+        )
+        assert not result.ok
+        assert any("reorder-wp" in v.render() for v in result.violations)
+
+
+# --------------------------------------------------------------------- #
+# Spec anchors against the real sources
+# --------------------------------------------------------------------- #
+
+
+def _scan_runtime():
+    # Scan from src so relpaths keep their "runtime/" prefix — the spec's
+    # module_suffixes match "runtime/multiproc.py", not a bare filename.
+    return scan([REPO_ROOT / "src"])
+
+
+class TestSpecExtraction:
+    def test_real_multiproc_sources_match_every_anchor(self):
+        project = _scan_runtime()
+        spec = multiproc_spec()
+        assert locate_classes(spec, project) is not None
+        assert check_anchors(spec, project) == []
+
+    def test_fixture_tree_without_protocol_is_out_of_scope(self, tmp_path):
+        (tmp_path / "app.py").write_text("class Other:\n    pass\n")
+        project = scan([tmp_path])
+        assert locate_classes(multiproc_spec(), project) is None
+        assert check_anchors(multiproc_spec(), project) == []
+
+    def test_mutated_source_registers_as_drift(self, tmp_path):
+        """Renaming ``_admit_frame`` in a copy of the real source must break
+        exactly the ``inject`` transition's anchors — CHR020's drift path."""
+        runtime = REPO_ROOT / "src" / "repro" / "runtime"
+        root = tmp_path / "runtime"
+        root.mkdir()
+        mutated = (runtime / "multiproc.py").read_text().replace(
+            "def _admit_frame", "def _admit_frame_renamed"
+        )
+        (root / "multiproc.py").write_text(mutated)
+        (root / "supervisor.py").write_text(
+            (runtime / "supervisor.py").read_text()
+        )
+        drifts = check_anchors(multiproc_spec(), scan([tmp_path]))
+        assert drifts, "renamed method must surface as spec drift"
+        assert {d.transition for d in drifts} == {"inject"}
+        assert all("_admit_frame" in d.describe() for d in drifts)
+
+    def test_anchor_kinds_match_and_reject(self):
+        func = ast.parse(
+            "def m(self):\n"
+            "    self.seq += 1\n"
+            "    self.acked, extra = compute()\n"
+            "    self.unacked.append(f)\n"
+            "    self.unacked.popleft()\n"
+            "    if x <= slot.high[0]:\n"
+            "        self._route(f)\n"
+        ).body[0]
+        assert anchor_matches(CodeAnchor("C", "m", "augassign", "seq"), func)
+        assert anchor_matches(CodeAnchor("C", "m", "assign", "acked"), func)
+        assert anchor_matches(CodeAnchor("C", "m", "append", "unacked"), func)
+        assert anchor_matches(
+            CodeAnchor("C", "m", "method_call", "unacked", "popleft"), func
+        )
+        assert anchor_matches(CodeAnchor("C", "m", "compare", "high"), func)
+        assert anchor_matches(CodeAnchor("C", "m", "call", detail="_route"), func)
+        assert not anchor_matches(CodeAnchor("C", "m", "augassign", "acked"), func)
+        assert not anchor_matches(
+            CodeAnchor("C", "m", "method_call", "unacked", "pop"), func
+        )
+        assert not anchor_matches(CodeAnchor("C", "m", "call", detail="gone"), func)
+
+
+# --------------------------------------------------------------------- #
+# CHR020 as a lint rule
+# --------------------------------------------------------------------- #
+
+
+class TestProtocolRule:
+    def test_real_tree_is_clean(self):
+        findings = run_rules(
+            scan([REPO_ROOT / "src"]), select=["CHR020"]
+        )
+        assert findings == []
+
+    def test_silent_on_trees_without_the_protocol(self, tmp_path):
+        (tmp_path / "app.py").write_text("class App:\n    pass\n")
+        findings = run_rules(scan([tmp_path]), select=["CHR020"])
+        assert findings == []
+
+    def test_drift_surfaces_as_finding_and_skips_verification(self, tmp_path):
+        runtime = REPO_ROOT / "src" / "repro" / "runtime"
+        root = tmp_path / "runtime"
+        root.mkdir()
+        mutated = (runtime / "multiproc.py").read_text().replace(
+            "def _admit_frame", "def _admit_frame_renamed"
+        )
+        (root / "multiproc.py").write_text(mutated)
+        (root / "supervisor.py").write_text(
+            (runtime / "supervisor.py").read_text()
+        )
+        findings = run_rules(scan([tmp_path]), select=["CHR020"])
+        assert findings
+        assert all(f.code == "CHR020" for f in findings)
+        assert all("spec drift" in f.message for f in findings)
